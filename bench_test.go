@@ -1,0 +1,427 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// experiment table (E1..E16 — the reproduction's "tables and figures"),
+// plus micro-benchmarks for the hot substrates (BDD construction,
+// event-driven simulation, espresso minimization, technology mapping).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks report the key headline number of each table
+// as a custom metric so `go test -bench` output doubles as a compact
+// reproduction summary.
+package repro
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/circuits"
+	"repro/internal/encode"
+	"repro/internal/experiments"
+	"repro/internal/gating"
+	"repro/internal/logic"
+	"repro/internal/power"
+	"repro/internal/precomp"
+	"repro/internal/sim"
+	"repro/internal/sop"
+	"repro/internal/stg"
+	"repro/internal/tmap"
+)
+
+// benchExperiment runs one experiment table per iteration and reports a
+// headline metric extracted from it.
+func benchExperiment(b *testing.B, run func() (*experiments.Table, error),
+	metricName string, metric func(*experiments.Table) float64) {
+	b.Helper()
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tbl != nil && metric != nil {
+		b.ReportMetric(metric(tbl), metricName)
+	}
+}
+
+func cell(tbl *experiments.Table, row, col int) float64 {
+	s := strings.TrimSuffix(tbl.Rows[row][col], "%")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func BenchmarkE1PowerBreakdown(b *testing.B) {
+	benchExperiment(b, experiments.E1PowerBreakdown, "switch_share_pct",
+		func(t *experiments.Table) float64 { return cell(t, 0, 6) })
+}
+
+func BenchmarkE2Reordering(b *testing.B) {
+	benchExperiment(b, experiments.E2Reordering, "best_saving_pct",
+		func(t *experiments.Table) float64 { return cell(t, 1, 5) })
+}
+
+func BenchmarkE3Sizing(b *testing.B) {
+	benchExperiment(b, experiments.E3Sizing, "cap_at_2xDmin_pct",
+		func(t *experiments.Table) float64 { return cell(t, len(t.Rows)-1, 3) })
+}
+
+func BenchmarkE4DontCare(b *testing.B) {
+	benchExperiment(b, experiments.E4DontCare, "best_power_ratio",
+		func(t *experiments.Table) float64 {
+			best := 1.0
+			for i := range t.Rows {
+				if v := cell(t, i, 5); v < best {
+					best = v
+				}
+			}
+			return best
+		})
+}
+
+func BenchmarkE5PathBalance(b *testing.B) {
+	benchExperiment(b, experiments.E5PathBalance, "mult6_balance_ratio",
+		func(t *experiments.Table) float64 { return cell(t, 2, 4) })
+}
+
+func BenchmarkE6Factoring(b *testing.B) {
+	benchExperiment(b, experiments.E6Factoring, "weighted_cost_ratio",
+		func(t *experiments.Table) float64 { return cell(t, 1, 3) / cell(t, 0, 3) })
+}
+
+func BenchmarkE7TechMap(b *testing.B) {
+	benchExperiment(b, experiments.E7TechMap, "rows",
+		func(t *experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE8Encoding(b *testing.B) {
+	benchExperiment(b, experiments.E8Encoding, "count8_gray_activity",
+		func(t *experiments.Table) float64 { return cell(t, 1, 3) })
+}
+
+func BenchmarkE9BusInvert(b *testing.B) {
+	benchExperiment(b, experiments.E9BusInvert, "random8_saving_pct",
+		func(t *experiments.Table) float64 { return cell(t, 0, 4) })
+}
+
+func BenchmarkE10Residue(b *testing.B) {
+	benchExperiment(b, experiments.E10Residue, "counting_rns_toggles",
+		func(t *experiments.Table) float64 { return cell(t, 1, 3) })
+}
+
+func BenchmarkE11Retiming(b *testing.B) {
+	benchExperiment(b, experiments.E11Retiming, "mult4_DQ_ratio",
+		func(t *experiments.Table) float64 { return cell(t, 0, 1) })
+}
+
+func BenchmarkE12GatedClock(b *testing.B) {
+	benchExperiment(b, experiments.E12GatedClock, "regbank_ratio",
+		func(t *experiments.Table) float64 { return cell(t, len(t.Rows)-1, 4) })
+}
+
+func BenchmarkE13Precomputation(b *testing.B) {
+	benchExperiment(b, experiments.E13Precomputation, "j1_ratio",
+		func(t *experiments.Table) float64 { return cell(t, 1, 5) })
+}
+
+func BenchmarkE14ArchModels(b *testing.B) {
+	benchExperiment(b, experiments.E14ArchModels, "mult4_walk_activity_err_pct",
+		func(t *experiments.Table) float64 { return cell(t, 3, 6) })
+}
+
+func BenchmarkE15Behavioral(b *testing.B) {
+	benchExperiment(b, experiments.E15Behavioral, "parallel4_power_pct",
+		func(t *experiments.Table) float64 { return cell(t, 2, 4) })
+}
+
+func BenchmarkE16Software(b *testing.B) {
+	benchExperiment(b, experiments.E16Software, "binary_vs_linear_pct",
+		func(t *experiments.Table) float64 { return cell(t, 4, 4) })
+}
+
+func BenchmarkProbabilityAblation(b *testing.B) {
+	benchExperiment(b, experiments.ProbabilityAblation, "cmp8_max_err",
+		func(t *experiments.Table) float64 { return cell(t, 0, 1) })
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkBDDBuildMultiplier(b *testing.B) {
+	nw, err := circuits.ArrayMultiplier(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bdd.FromNetwork(nw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactProbabilities(b *testing.B) {
+	nw, err := circuits.CLAAdder(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := power.ExactProbabilities(nw, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventDrivenSim(b *testing.B) {
+	nw, err := circuits.ArrayMultiplier(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	vecs := sim.RandomVectors(r, 100, len(nw.PIs()), 0.5)
+	s, err := sim.New(nw, sim.UnitDelay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(vecs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZeroDelayStep(b *testing.B) {
+	nw, err := circuits.ALU(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := logic.NewState(nw)
+	in := make([]bool, len(nw.PIs()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in[0] = i%2 == 0
+		if _, err := st.Step(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEspressoMinimize(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	covers := make([]*sop.Cover, 16)
+	for i := range covers {
+		cv := sop.NewCover(6)
+		for k := 0; k < 8; k++ {
+			c := make(sop.Cube, 6)
+			for j := range c {
+				c[j] = sop.Lit(r.Intn(3))
+			}
+			cv.Cubes = append(cv.Cubes, c)
+		}
+		covers[i] = cv
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sop.Minimize(covers[i%len(covers)], sop.MinimizeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTechnologyMapping(b *testing.B) {
+	nw, err := circuits.Comparator(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tmap.Map(nw, tmap.Options{Objective: tmap.MinPower}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBLIFRoundTrip(b *testing.B) {
+	nw, err := circuits.ALU(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf strings.Builder
+		if err := logic.WriteBLIF(&buf, nw); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := logic.ReadBLIF(strings.NewReader(buf.String())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks (the design-choice knobs DESIGN.md calls out) ----
+
+// BenchmarkAblationEncoderQuality compares the annealed encoder against
+// its greedy constructive start across the FSM corpus; the metric is the
+// summed weighted activity ratio (anneal / greedy, <= 1).
+func BenchmarkAblationEncoderQuality(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(7))
+		sumG, sumA := 0.0, 0.0
+		for _, g := range stg.Corpus() {
+			sumG += encode.WeightedActivity(g, encode.Greedy(g))
+			sumA += encode.WeightedActivity(g, encode.Anneal(g, r, encode.AnnealOptions{Iterations: 6000}))
+		}
+		ratio = sumA / sumG
+	}
+	b.ReportMetric(ratio, "anneal_over_greedy")
+}
+
+// BenchmarkAblationGatingBreakEven reports the clock capacitance at which
+// FSM self-loop gating breaks even on the idler machine, found by
+// bisection — the overhead-vs-saving crossover of §III.C.3.
+func BenchmarkAblationGatingBreakEven(b *testing.B) {
+	g := stg.Corpus()["idler"]
+	e := encode.MinimalBinary(g)
+	base, err := encode.Synthesize(g, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gated, err := gating.GateSelfLoops(g, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := power.DefaultParams()
+	saving := func(clockCap float64) float64 {
+		rb, err := gating.MeasureClockPower(base, logic.InvalidNode, nil, rand.New(rand.NewSource(9)), 1500, p, clockCap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rg, err := gating.MeasureClockPower(gated.Network, gated.Enable, gated.HoldMuxes, rand.New(rand.NewSource(9)), 1500, p, clockCap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rb.Total() - rg.Total()
+	}
+	var breakeven float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := 0.1, 16.0
+		for it := 0; it < 20; it++ {
+			mid := (lo + hi) / 2
+			if saving(mid) > 0 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		breakeven = (lo + hi) / 2
+	}
+	b.ReportMetric(breakeven, "breakeven_clock_cap")
+}
+
+// BenchmarkAblationEstimatorLadder reports the three probabilistic
+// estimates relative to timed simulation on the glitchy multiplier:
+// zero-delay (underestimates), transition density (conservative upper
+// estimate) — simulation sits in between.
+func BenchmarkAblationEstimatorLadder(b *testing.B) {
+	nw, err := circuits.ArrayMultiplier(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := power.DefaultParams()
+	r := rand.New(rand.NewSource(5))
+	vecs := sim.RandomVectors(r, 300, len(nw.PIs()), 0.5)
+	var zd, dens, simP float64
+	for i := 0; i < b.N; i++ {
+		ze, err := power.EstimateExact(nw, p, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inDens := map[logic.NodeID]float64{}
+		for _, pi := range nw.PIs() {
+			inDens[pi] = 0.5
+		}
+		de, err := power.EstimateDensity(nw, p, nil, inDens, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		se, _, err := power.EstimateSimulated(nw, p, nil, sim.UnitDelay, vecs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zd, dens, simP = ze.Total(), de.Total(), se.Total()
+	}
+	b.ReportMetric(zd/simP, "zerodelay_over_sim")
+	b.ReportMetric(dens/simP, "density_over_sim")
+}
+
+// BenchmarkAblationGuardedEvaluation reports the region-switching ratio of
+// guarded evaluation [44] on the deep-cone example.
+func BenchmarkAblationGuardedEvaluation(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		nw := logic.New("guard")
+		var xs []logic.NodeID
+		for j := 0; j < 3; j++ {
+			xs = append(xs, nw.MustInput(string(rune('a'+j))))
+		}
+		en := nw.MustInput("en")
+		acc := nw.MustGate("p1", logic.Xor, xs[0], xs[1])
+		for j := 2; j <= 16; j++ {
+			mix := nw.MustGate("m"+strconv.Itoa(j), logic.And, acc, xs[j%3])
+			acc = nw.MustGate("p"+strconv.Itoa(j), logic.Xor, mix, xs[(j+1)%3])
+		}
+		out := nw.MustGate("out", logic.And, acc, en)
+		if err := nw.MarkOutput(out); err != nil {
+			b.Fatal(err)
+		}
+		orig := nw.Clone()
+		var origRegion []logic.NodeID
+		for id := range precomp.Region(orig, acc) {
+			origRegion = append(origRegion, id)
+		}
+		gc, err := precomp.GuardEvaluation(nw, acc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := precomp.MeasureGuard(orig, gc, origRegion, rand.New(rand.NewSource(3)), 1000, power.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Mismatches != 0 {
+			b.Fatal("guarded circuit diverged")
+		}
+		ratio = float64(rep.RegionToggles) / float64(rep.BaselineToggles)
+	}
+	b.ReportMetric(ratio, "region_toggle_ratio")
+}
+
+// BenchmarkAblationDecomposition reports the power-mapping quality ratio
+// of balanced versus left-deep technology decomposition ([48]) on the
+// decoder benchmark.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	nw, err := circuits.Decoder(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		mLeft, err := tmap.Map(nw, tmap.Options{Objective: tmap.MinPower})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mBal, err := tmap.Map(nw, tmap.Options{Objective: tmap.MinPower,
+			Decompose: tmap.DecomposeOptions{Balanced: true}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = mBal.Power / mLeft.Power
+	}
+	b.ReportMetric(ratio, "balanced_over_leftdeep_power")
+}

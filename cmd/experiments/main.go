@@ -1,0 +1,42 @@
+// Command experiments regenerates every experiment table E1..E16 (plus the
+// estimator ablation), the reproduction of the survey's quantitative
+// claims. Run with -only E5 to regenerate a single table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E5,E13); empty = all")
+	flag.Parse()
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	all := experiments.All()
+	all = append(all, experiments.Experiment{ID: "E4B", Run: experiments.ProbabilityAblation})
+	failed := 0
+	for _, ex := range all {
+		if len(want) > 0 && !want[strings.ToUpper(ex.ID)] {
+			continue
+		}
+		tbl, err := ex.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(tbl.Format())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

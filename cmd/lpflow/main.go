@@ -1,0 +1,113 @@
+// Command lpflow runs a named low-power optimization flow on a circuit —
+// either a built-in generator (-circuit mult5) or a BLIF file (-blif
+// path) — and prints the power trajectory.
+//
+//	lpflow -circuit mult5 -flow lowpower
+//	lpflow -blif design.blif -flow glitch -seed 7
+//	lpflow -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+var generators = map[string]func() (*logic.Network, error){
+	"radd8":  func() (*logic.Network, error) { return circuits.RippleAdder(8) },
+	"radd16": func() (*logic.Network, error) { return circuits.RippleAdder(16) },
+	"cla8":   func() (*logic.Network, error) { return circuits.CLAAdder(8) },
+	"mult4":  func() (*logic.Network, error) { return circuits.ArrayMultiplier(4) },
+	"mult5":  func() (*logic.Network, error) { return circuits.ArrayMultiplier(5) },
+	"mult6":  func() (*logic.Network, error) { return circuits.ArrayMultiplier(6) },
+	"cmp8":   func() (*logic.Network, error) { return circuits.Comparator(8) },
+	"alu4":   func() (*logic.Network, error) { return circuits.ALU(4) },
+	"par16":  func() (*logic.Network, error) { return circuits.ParityTree(16) },
+	"dec5":   func() (*logic.Network, error) { return circuits.Decoder(5) },
+}
+
+func main() {
+	circuit := flag.String("circuit", "", "built-in circuit generator")
+	blif := flag.String("blif", "", "BLIF file to optimize")
+	flowName := flag.String("flow", "lowpower", "flow to run")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list circuits, flows and passes")
+	out := flag.String("o", "", "write the optimized network as BLIF to this file")
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for n := range generators {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("circuits:", strings.Join(names, " "))
+		var flows []string
+		for n := range core.StandardFlows() {
+			flows = append(flows, n)
+		}
+		sort.Strings(flows)
+		fmt.Println("flows:   ", strings.Join(flows, " "))
+		fmt.Println("passes:  ", strings.Join(core.PassNames(), " "))
+		return
+	}
+
+	nw, err := loadNetwork(*circuit, *blif)
+	if err != nil {
+		fatal(err)
+	}
+	flow, ok := core.StandardFlows()[*flowName]
+	if !ok {
+		fatal(fmt.Errorf("unknown flow %q (try -list)", *flowName))
+	}
+	ctx := core.NewContext(nw, *seed)
+	rep, err := core.RunFlow(nw, flow, ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := logic.WriteBLIF(f, nw); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func loadNetwork(circuit, blif string) (*logic.Network, error) {
+	switch {
+	case circuit != "" && blif != "":
+		return nil, fmt.Errorf("specify -circuit or -blif, not both")
+	case circuit != "":
+		gen, ok := generators[circuit]
+		if !ok {
+			return nil, fmt.Errorf("unknown circuit %q (try -list)", circuit)
+		}
+		return gen()
+	case blif != "":
+		f, err := os.Open(blif)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return logic.ReadBLIF(f)
+	default:
+		return nil, fmt.Errorf("specify -circuit or -blif (try -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Comparator: the survey's Figure 1 end-to-end. Builds the n-bit
+// registered comparator with precomputation on j MSB pairs, verifies it
+// against the unoptimized machine cycle-for-cycle, and sweeps j to show
+// where the power minimum falls. Also demonstrates the general input-
+// selection algorithm of [30] on the combinational comparator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/circuits"
+	"repro/internal/power"
+	"repro/internal/precomp"
+)
+
+func main() {
+	const n = 8
+	params := power.DefaultParams()
+	fmt.Printf("Figure 1: %d-bit precomputed comparator (C > D)\n\n", n)
+	fmt.Printf("%-4s %-10s %-10s %-10s %-10s %-10s\n",
+		"j", "P(load)", "logicP", "clockP", "total", "mismatch")
+	var base float64
+	for j := 0; j <= n/2; j++ {
+		pc, err := precomp.BuildComparator(n, j)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := pc.Measure(rand.New(rand.NewSource(1)), 4000, params, 2.0, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.OutputMismatch != 0 {
+			log.Fatalf("j=%d: %d output mismatches against the golden comparator", j, rep.OutputMismatch)
+		}
+		if j == 0 {
+			base = rep.Total()
+		}
+		fmt.Printf("%-4d %-10.3f %-10.2f %-10.2f %-10.2f %-10d  (%.1f%% of baseline)\n",
+			j, rep.LoadFraction, rep.LogicPower, rep.ClockPower, rep.Total(),
+			rep.OutputMismatch, 100*rep.Total()/base)
+	}
+
+	fmt.Println("\nGeneral precomputation input selection [30]:")
+	comb, err := circuits.Comparator(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		subset, prob, err := precomp.SelectInputs(comb, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := ""
+		for i, id := range subset {
+			if i > 0 {
+				names += ", "
+			}
+			names += comb.Node(id).Name
+		}
+		fmt.Printf("  best %d-input subset: {%s}  P(output determined) = %.3f\n", k, names, prob)
+	}
+	fmt.Println("\nThe paper's claim: the saving is governed by the probability the")
+	fmt.Println("precomputation logic disables the datapath — 1/2 for one XNOR pair.")
+}

@@ -1,0 +1,105 @@
+// DSP datapath: behavioral synthesis of a FIR filter (§IV.B) — scheduling,
+// module selection, concurrency + voltage scaling — plus bus coding
+// (§III.C.1) for the sample stream it transfers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/behav"
+	"repro/internal/buscode"
+)
+
+func main() {
+	// 4-tap symmetric FIR: y = 5 x0 + 3 x1 + 3 x2 + 5 x3.
+	d := behav.NewDFG("fir4")
+	coeffs := []int{5, 3, 3, 5}
+	var prods []*behav.Op
+	for i := 0; i < 4; i++ {
+		x, err := d.Input(fmt.Sprintf("x%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := d.Const(fmt.Sprintf("c%d", i), coeffs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := d.Mul(fmt.Sprintf("p%d", i), x, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prods = append(prods, p)
+	}
+	s1, _ := d.Add("s1", prods[0], prods[1])
+	s2, _ := d.Add("s2", prods[2], prods[3])
+	y, _ := d.Add("y", s1, s2)
+	if _, err := d.Output("out", y); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scheduling under resource constraints.
+	sch, err := d.ListSchedule(map[behav.OpKind]int{behav.OpMul: 2, behav.OpAdd: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("list schedule with 2 multipliers, 2 adders: %d control steps\n", sch.Steps)
+
+	// Module selection under two deadlines.
+	lib := behav.DefaultModules()
+	for _, deadline := range []float64{100, 250} {
+		_, energy, err := behav.SelectModules(d, lib, deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("module selection at %.0fns deadline: %.1f pJ per iteration\n", deadline, energy)
+	}
+
+	// Concurrency transformation + voltage scaling [7].
+	fmt.Println("\nfixed throughput 5 samples/µs:")
+	base, err := behav.PowerAtThroughput(d, lib, 5.0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  direct:      Vdd=%.2fV  power=%.1fµW\n", base.Voltage, base.PowerUW)
+	for _, factor := range []int{2, 4} {
+		dp, err := behav.Parallelize(d, factor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := behav.PowerAtThroughput(dp, lib, 5.0, factor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  parallel x%d: Vdd=%.2fV  power=%.1fµW (%.0f%% of direct)\n",
+			factor, res.Voltage, res.PowerUW, 100*res.PowerUW/base.PowerUW)
+	}
+
+	// Bus coding for the correlated sample stream feeding the filter.
+	fmt.Println("\nbus coding of the 8-bit sample stream (random-walk samples):")
+	r := rand.New(rand.NewSource(3))
+	words := make([]uint, 8000)
+	v := 128
+	for i := range words {
+		v += r.Intn(9) - 4
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		words[i] = uint(v)
+	}
+	for _, enc := range []buscode.Encoder{
+		&buscode.Binary{W: 8},
+		buscode.NewBusInvert(8),
+		&buscode.GrayCode{W: 8},
+	} {
+		st, err := buscode.CountTransitions(enc, words)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %d lines, %.2f transitions/word\n", enc.Name(), st.Lines, st.PerWord())
+	}
+}

@@ -1,0 +1,392 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with a shared unique table and an ITE computed cache.
+//
+// The manager supports the operations the toolkit needs for exact power
+// analysis and logic optimization: Boolean connectives, cofactoring,
+// existential and universal quantification (used by precomputation and
+// guarded-evaluation passes), composition, minterm counting, and exact
+// signal-probability evaluation given independent input probabilities.
+//
+// Nodes are referenced by integer handles (Ref). Refs 0 and 1 are the
+// constant functions. The manager never frees nodes; for the circuit sizes
+// in this toolkit (tens of thousands of nodes) this is simple and fast.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ref is a handle to a BDD node within a Manager. The zero value is the
+// constant-false function.
+type Ref int32
+
+// Constant functions.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable level; terminals use level maxLevel
+	lo, hi Ref
+}
+
+const maxLevel = int32(1<<30 - 1)
+
+type uniqueKey struct {
+	level  int32
+	lo, hi Ref
+}
+
+type iteKey struct{ f, g, h Ref }
+
+// Manager owns a set of BDD nodes over a fixed number of variables.
+// Variable i has level i: lower-indexed variables appear nearer the root.
+type Manager struct {
+	nodes  []node
+	unique map[uniqueKey]Ref
+	iteC   map[iteKey]Ref
+	nvars  int
+}
+
+// New creates a manager with nvars variables.
+func New(nvars int) *Manager {
+	m := &Manager{
+		unique: make(map[uniqueKey]Ref),
+		iteC:   make(map[iteKey]Ref),
+		nvars:  nvars,
+	}
+	// Terminal nodes: index 0 = false, 1 = true.
+	m.nodes = append(m.nodes,
+		node{level: maxLevel},
+		node{level: maxLevel})
+	return m
+}
+
+// NumVars returns the number of variables in the manager.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Size returns the total number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// AddVar appends a new variable (at the bottom of the order) and returns
+// its index.
+func (m *Manager) AddVar() int {
+	m.nvars++
+	return m.nvars - 1
+}
+
+// Var returns the function of the single variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: Var(%d) out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the complement of variable i.
+func (m *Manager) NVar(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: NVar(%d) out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(int32(i), True, False)
+}
+
+// mk finds or creates the node (level, lo, hi), applying the reduction
+// rule lo==hi.
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	k := uniqueKey{level, lo, hi}
+	if r, ok := m.unique[k]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[k] = r
+	return r
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// ITE computes if-then-else: f ? g : h. All Boolean connectives reduce to
+// it.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	k := iteKey{f, g, h}
+	if r, ok := m.iteC[k]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.iteC[k] = r
+	return r
+}
+
+func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// And returns the conjunction of the arguments (True for none).
+func (m *Manager) And(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.ITE(r, f, False)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// Or returns the disjunction of the arguments (False for none).
+func (m *Manager) Or(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.ITE(r, True, f)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// Xor returns the exclusive-or of the arguments (False for none).
+func (m *Manager) Xor(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.ITE(r, m.Not(f), f)
+	}
+	return r
+}
+
+// Xnor returns the complement of Xor.
+func (m *Manager) Xnor(fs ...Ref) Ref { return m.Not(m.Xor(fs...)) }
+
+// Implies returns f -> g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, True) }
+
+// Restrict cofactors f with variable i fixed to val.
+func (m *Manager) Restrict(f Ref, i int, val bool) Ref {
+	memo := make(map[Ref]Ref)
+	lvl := int32(i)
+	var rec func(Ref) Ref
+	rec = func(g Ref) Ref {
+		n := m.nodes[g]
+		if n.level > lvl {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		var r Ref
+		if n.level == lvl {
+			if val {
+				r = n.hi
+			} else {
+				r = n.lo
+			}
+		} else {
+			r = m.mk(n.level, rec(n.lo), rec(n.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Exists existentially quantifies out variable i: f[i=0] | f[i=1].
+func (m *Manager) Exists(f Ref, i int) Ref {
+	return m.Or(m.Restrict(f, i, false), m.Restrict(f, i, true))
+}
+
+// Forall universally quantifies out variable i: f[i=0] & f[i=1].
+func (m *Manager) Forall(f Ref, i int) Ref {
+	return m.And(m.Restrict(f, i, false), m.Restrict(f, i, true))
+}
+
+// ExistsSet quantifies out every variable whose index is in vars.
+func (m *Manager) ExistsSet(f Ref, vars []int) Ref {
+	for _, v := range vars {
+		f = m.Exists(f, v)
+	}
+	return f
+}
+
+// ForallSet universally quantifies out every variable in vars.
+func (m *Manager) ForallSet(f Ref, vars []int) Ref {
+	for _, v := range vars {
+		f = m.Forall(f, v)
+	}
+	return f
+}
+
+// Compose substitutes function g for variable i in f.
+func (m *Manager) Compose(f Ref, i int, g Ref) Ref {
+	// f[x_i <- g] = ITE(g, f[x_i=1], f[x_i=0])
+	return m.ITE(g, m.Restrict(f, i, true), m.Restrict(f, i, false))
+}
+
+// Eval evaluates f under a complete variable assignment.
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// Support returns the sorted indices of variables f depends on.
+func (m *Manager) Support(f Ref) []int {
+	seen := make(map[Ref]bool)
+	vars := make(map[int32]bool)
+	var rec func(Ref)
+	rec = func(g Ref) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		n := m.nodes[g]
+		vars[n.level] = true
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	out := make([]int, 0, len(vars))
+	for v := int32(0); v < int32(m.nvars); v++ {
+		if vars[v] {
+			out = append(out, int(v))
+		}
+	}
+	return out
+}
+
+// NodeCount returns the number of distinct internal nodes in f (a standard
+// BDD size metric, excluding terminals).
+func (m *Manager) NodeCount(f Ref) int {
+	seen := make(map[Ref]bool)
+	var rec func(Ref)
+	rec = func(g Ref) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		rec(m.nodes[g].lo)
+		rec(m.nodes[g].hi)
+	}
+	rec(f)
+	return len(seen)
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// nvars variables, as a float64 (exact for < 2^53).
+func (m *Manager) SatCount(f Ref) float64 {
+	return m.Probability(f, nil) * math.Pow(2, float64(m.nvars))
+}
+
+// Probability returns the probability that f evaluates to 1 when each
+// variable i is independently 1 with probability p[i]. A nil p means every
+// variable has probability 1/2. This is the exact signal probability used
+// by internal/power.
+func (m *Manager) Probability(f Ref, p []float64) float64 {
+	memo := make(map[Ref]float64)
+	var rec func(Ref) float64
+	rec = func(g Ref) float64 {
+		switch g {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if v, ok := memo[g]; ok {
+			return v
+		}
+		n := m.nodes[g]
+		pv := 0.5
+		if p != nil {
+			pv = p[n.level]
+		}
+		v := pv*rec(n.hi) + (1-pv)*rec(n.lo)
+		memo[g] = v
+		return v
+	}
+	return rec(f)
+}
+
+// AnySat returns one satisfying assignment of f (indexed by variable), or
+// nil if f is unsatisfiable. Variables not in the support are set false.
+func (m *Manager) AnySat(f Ref) []bool {
+	if f == False {
+		return nil
+	}
+	assign := make([]bool, m.nvars)
+	for f != True {
+		n := m.nodes[f]
+		if n.hi != False {
+			assign[n.level] = true
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return assign
+}
+
+// Low and High expose the cofactors and level of an internal node, for
+// algorithms that walk the graph directly. They panic on terminals.
+func (m *Manager) Low(f Ref) Ref {
+	m.checkInternal(f)
+	return m.nodes[f].lo
+}
+
+// High returns the positive cofactor edge of an internal node.
+func (m *Manager) High(f Ref) Ref {
+	m.checkInternal(f)
+	return m.nodes[f].hi
+}
+
+// Level returns the variable index tested at the root of f.
+func (m *Manager) Level(f Ref) int {
+	m.checkInternal(f)
+	return int(m.nodes[f].level)
+}
+
+func (m *Manager) checkInternal(f Ref) {
+	if f == True || f == False {
+		panic("bdd: cofactor access on terminal node")
+	}
+}

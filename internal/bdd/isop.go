@@ -1,0 +1,98 @@
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/sop"
+)
+
+// ISOP computes an irredundant sum-of-products cover of any function f
+// with lower ≤ f ≤ upper, using the Minato-Morreale algorithm. The result
+// is a cover over the manager's variables (cube position i = variable i).
+// Pass the same Ref twice to cover an exact function.
+func (m *Manager) ISOP(lower, upper Ref) (*sop.Cover, error) {
+	if m.Implies(lower, upper) != True {
+		return nil, fmt.Errorf("bdd: ISOP needs lower <= upper")
+	}
+	memo := make(map[[2]Ref]*sop.Cover)
+	cover := m.isop(lower, upper, memo)
+	return cover, nil
+}
+
+func (m *Manager) isop(l, u Ref, memo map[[2]Ref]*sop.Cover) *sop.Cover {
+	n := m.nvars
+	if l == False {
+		return sop.NewCover(n)
+	}
+	if u == True {
+		return sop.Universe(n)
+	}
+	key := [2]Ref{l, u}
+	if c, ok := memo[key]; ok {
+		return c
+	}
+	// Top variable of l and u.
+	top := m.level(l)
+	if lu := m.level(u); lu < top {
+		top = lu
+	}
+	v := int(top)
+	l0, l1 := m.cofactors(l, top)
+	u0, u1 := m.cofactors(u, top)
+
+	// Cubes that must contain literal !v: cover of (l0 minus u1).
+	lNot1 := m.And(l0, m.Not(u1))
+	c0 := m.isop(lNot1, u0, memo)
+	// Cubes that must contain literal v: cover of (l1 minus u0).
+	lNot0 := m.And(l1, m.Not(u0))
+	c1 := m.isop(lNot0, u1, memo)
+	// Remaining ON-set handled by cubes independent of v.
+	f0 := m.coverBDD(c0)
+	f1 := m.coverBDD(c1)
+	lRest := m.Or(m.And(l0, m.Not(f0)), m.And(l1, m.Not(f1)))
+	uRest := m.And(u0, u1)
+	cd := m.isop(lRest, uRest, memo)
+
+	out := sop.NewCover(n)
+	for _, c := range c0.Cubes {
+		nc := c.Clone()
+		nc[v] = sop.Zero
+		out.Cubes = append(out.Cubes, nc)
+	}
+	for _, c := range c1.Cubes {
+		nc := c.Clone()
+		nc[v] = sop.One
+		out.Cubes = append(out.Cubes, nc)
+	}
+	out.Cubes = append(out.Cubes, cd.Cubes...)
+	memo[key] = out
+	return out
+}
+
+// coverBDD rebuilds the BDD of a cover (used internally by ISOP to
+// subtract already-covered minterms).
+func (m *Manager) coverBDD(cv *sop.Cover) Ref {
+	f := False
+	for _, c := range cv.Cubes {
+		cube := True
+		for i, lit := range c {
+			switch lit {
+			case sop.One:
+				cube = m.And(cube, m.Var(i))
+			case sop.Zero:
+				cube = m.And(cube, m.NVar(i))
+			}
+		}
+		f = m.Or(f, cube)
+	}
+	return f
+}
+
+// FromCover builds the BDD of a cover directly (exported convenience for
+// round-trip checks and synthesis).
+func (m *Manager) FromCover(cv *sop.Cover) (Ref, error) {
+	if cv.NumVars > m.nvars {
+		return False, fmt.Errorf("bdd: cover has %d vars, manager has %d", cv.NumVars, m.nvars)
+	}
+	return m.coverBDD(cv), nil
+}

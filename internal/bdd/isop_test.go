@@ -1,0 +1,114 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sop"
+)
+
+func TestISOPExactRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		m := New(5)
+		f := randomFn(m, r)
+		cv, err := m.ISOP(f, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := m.FromCover(cv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != f {
+			t.Fatalf("trial %d: ISOP cover does not reproduce the function", trial)
+		}
+	}
+}
+
+func TestISOPWithDontCares(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// onset: a&b&c; dc adds a&b (c free): lower = a&b&c, upper = a&b.
+	lower := m.And(a, b, c)
+	upper := m.And(a, b)
+	cv, err := m.ISOP(lower, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.FromCover(cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lower <= g <= upper.
+	if m.Implies(lower, g) != True || m.Implies(g, upper) != True {
+		t.Fatal("ISOP result violates the interval")
+	}
+	// With the don't-care freedom the cover should be the single cube ab.
+	if cv.NumLiterals() != 2 {
+		t.Errorf("cover has %d literals, want 2 (ab): %s", cv.NumLiterals(), cv)
+	}
+}
+
+func TestISOPInvalidInterval(t *testing.T) {
+	m := New(2)
+	if _, err := m.ISOP(m.Var(0), m.Var(1)); err == nil {
+		t.Error("non-contained interval should fail")
+	}
+}
+
+func TestISOPTerminals(t *testing.T) {
+	m := New(3)
+	cv, err := m.ISOP(False, False)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cv.IsEmpty() {
+		t.Error("ISOP(0) should be empty")
+	}
+	cv, err = m.ISOP(True, True)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Cubes) != 1 || cv.Cubes[0].NumLiterals() != 0 {
+		t.Errorf("ISOP(1) should be the universal cube: %s", cv)
+	}
+}
+
+func TestISOPIrredundant(t *testing.T) {
+	// Every cube of the ISOP cover must be necessary.
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		m := New(5)
+		f := randomFn(m, r)
+		if f == False || f == True {
+			continue
+		}
+		cv, err := m.ISOP(f, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for drop := range cv.Cubes {
+			sub := sop.NewCover(cv.NumVars)
+			for j, c := range cv.Cubes {
+				if j != drop {
+					sub.Cubes = append(sub.Cubes, c)
+				}
+			}
+			g, err := m.FromCover(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g == f {
+				t.Fatalf("trial %d: cube %d is redundant", trial, drop)
+			}
+		}
+	}
+}
+
+func TestFromCoverArity(t *testing.T) {
+	m := New(2)
+	if _, err := m.FromCover(sop.Universe(5)); err == nil {
+		t.Error("oversized cover should fail")
+	}
+}

@@ -1,0 +1,90 @@
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// NetworkBDDs holds the global BDDs of a combinational network: one
+// function per node, expressed over the circuit inputs (primary inputs
+// followed by flip-flop outputs, in declaration order).
+type NetworkBDDs struct {
+	M *Manager
+	// VarOf maps a PI or FF node to its BDD variable index.
+	VarOf map[logic.NodeID]int
+	// Fn maps every live node to its global function.
+	Fn map[logic.NodeID]Ref
+	// Vars lists the source nodes in variable order.
+	Vars []logic.NodeID
+}
+
+// FromNetwork builds global BDDs for every node of the network. Primary
+// inputs take variables 0..|PI|-1 in declaration order, then flip-flop
+// outputs. Sequential networks are handled by treating FF outputs as free
+// inputs (the standard combinational abstraction).
+func FromNetwork(nw *logic.Network) (*NetworkBDDs, error) {
+	srcs := append(append([]logic.NodeID(nil), nw.PIs()...), nw.FFs()...)
+	m := New(len(srcs))
+	nb := &NetworkBDDs{
+		M:     m,
+		VarOf: make(map[logic.NodeID]int, len(srcs)),
+		Fn:    make(map[logic.NodeID]Ref),
+		Vars:  srcs,
+	}
+	for i, s := range srcs {
+		nb.VarOf[s] = i
+		nb.Fn[s] = m.Var(i)
+	}
+	order, err := nw.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		n := nw.Node(id)
+		var f Ref
+		switch n.Type {
+		case logic.Const0:
+			f = False
+		case logic.Const1:
+			f = True
+		default:
+			args := make([]Ref, len(n.Fanin))
+			for i, fi := range n.Fanin {
+				g, ok := nb.Fn[fi]
+				if !ok {
+					return nil, fmt.Errorf("bdd: fanin %d of %q not yet built", fi, n.Name)
+				}
+				args[i] = g
+			}
+			f, err = applyGate(m, n.Type, args)
+			if err != nil {
+				return nil, err
+			}
+		}
+		nb.Fn[id] = f
+	}
+	return nb, nil
+}
+
+func applyGate(m *Manager, t logic.GateType, args []Ref) (Ref, error) {
+	switch t {
+	case logic.Buf:
+		return args[0], nil
+	case logic.Not:
+		return m.Not(args[0]), nil
+	case logic.And:
+		return m.And(args...), nil
+	case logic.Or:
+		return m.Or(args...), nil
+	case logic.Nand:
+		return m.Not(m.And(args...)), nil
+	case logic.Nor:
+		return m.Not(m.Or(args...)), nil
+	case logic.Xor:
+		return m.Xor(args...), nil
+	case logic.Xnor:
+		return m.Xnor(args...), nil
+	}
+	return False, fmt.Errorf("bdd: unsupported gate type %s", t)
+}

@@ -1,0 +1,145 @@
+package bdd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestFromNetworkMux(t *testing.T) {
+	nw := logic.New("mux")
+	s := nw.MustInput("s")
+	a := nw.MustInput("a")
+	b := nw.MustInput("b")
+	ns := nw.MustGate("ns", logic.Not, s)
+	t0 := nw.MustGate("t0", logic.And, ns, a)
+	t1 := nw.MustGate("t1", logic.And, s, b)
+	o := nw.MustGate("o", logic.Or, t0, t1)
+	if err := nw.MarkOutput(o); err != nil {
+		t.Fatal(err)
+	}
+	nb, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nb.M
+	want := m.ITE(m.Var(nb.VarOf[s]), m.Var(nb.VarOf[b]), m.Var(nb.VarOf[a]))
+	if nb.Fn[o] != want {
+		t.Error("mux BDD does not match ITE(s,b,a)")
+	}
+	// Output probability with uniform inputs: P(mux)=1/2.
+	if p := m.Probability(nb.Fn[o], nil); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("P(mux)=%v, want 0.5", p)
+	}
+}
+
+func TestFromNetworkAllGates(t *testing.T) {
+	nw := logic.New("g")
+	a := nw.MustInput("a")
+	b := nw.MustInput("b")
+	gates := map[string]logic.NodeID{
+		"and":  nw.MustGate("g_and", logic.And, a, b),
+		"or":   nw.MustGate("g_or", logic.Or, a, b),
+		"nand": nw.MustGate("g_nand", logic.Nand, a, b),
+		"nor":  nw.MustGate("g_nor", logic.Nor, a, b),
+		"xor":  nw.MustGate("g_xor", logic.Xor, a, b),
+		"xnor": nw.MustGate("g_xnor", logic.Xnor, a, b),
+		"not":  nw.MustGate("g_not", logic.Not, a),
+		"buf":  nw.MustGate("g_buf", logic.Buf, b),
+	}
+	for _, id := range gates {
+		if err := nw.MarkOutput(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k0, _ := nw.AddConst("k0", false)
+	k1, _ := nw.AddConst("k1", true)
+	nb, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nb.M
+	va, vb := m.Var(nb.VarOf[a]), m.Var(nb.VarOf[b])
+	checks := map[string]Ref{
+		"and": m.And(va, vb), "or": m.Or(va, vb),
+		"nand": m.Not(m.And(va, vb)), "nor": m.Not(m.Or(va, vb)),
+		"xor": m.Xor(va, vb), "xnor": m.Xnor(va, vb),
+		"not": m.Not(va), "buf": vb,
+	}
+	for name, want := range checks {
+		if nb.Fn[gates[name]] != want {
+			t.Errorf("gate %s has wrong BDD", name)
+		}
+	}
+	if nb.Fn[k0] != False || nb.Fn[k1] != True {
+		t.Error("constants map to terminals")
+	}
+}
+
+func TestFromNetworkSequential(t *testing.T) {
+	// FF outputs become free variables after the PIs.
+	nw := logic.New("seq")
+	x := nw.MustInput("x")
+	c0, _ := nw.AddConst("c0", false)
+	q, err := nw.AddDFF("q", c0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := nw.MustGate("d", logic.Xor, x, q)
+	if err := nw.ReplaceFanin(q, c0, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.DeleteNode(c0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput(q); err != nil {
+		t.Fatal(err)
+	}
+	nb, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb.Vars) != 2 {
+		t.Fatalf("want 2 BDD variables (x, q), got %d", len(nb.Vars))
+	}
+	m := nb.M
+	if nb.Fn[d] != m.Xor(m.Var(nb.VarOf[x]), m.Var(nb.VarOf[q])) {
+		t.Error("next-state function wrong")
+	}
+}
+
+func TestFromNetworkAgainstTruthTable(t *testing.T) {
+	// Cross-check BDD evaluation with exhaustive gate-level simulation on a
+	// nontrivial reconvergent circuit.
+	nw := logic.New("reconv")
+	var pis []logic.NodeID
+	for _, n := range []string{"a", "b", "c", "d"} {
+		pis = append(pis, nw.MustInput(n))
+	}
+	g1 := nw.MustGate("g1", logic.Nand, pis[0], pis[1])
+	g2 := nw.MustGate("g2", logic.Nor, pis[1], pis[2])
+	g3 := nw.MustGate("g3", logic.Xor, g1, g2)
+	g4 := nw.MustGate("g4", logic.And, g3, pis[3], g1)
+	o := nw.MustGate("o", logic.Or, g4, g2)
+	if err := nw.MarkOutput(o); err != nil {
+		t.Fatal(err)
+	}
+	nb, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mt := 0; mt < 16; mt++ {
+		in := make([]bool, 4)
+		for i := range in {
+			in[i] = mt&(1<<i) != 0
+		}
+		out, err := nw.EvalComb(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nb.M.Eval(nb.Fn[o], in); got != out[0] {
+			t.Errorf("minterm %d: BDD=%v sim=%v", mt, got, out[0])
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package buscode implements the datapath encoding techniques of survey
+// §III.C.1: bus-invert coding with an extra E line (Stan/Burleson [39]),
+// Gray-coded address buses, transition signaling, and the one-hot residue
+// number coding of Chren [11]. A common harness counts bus-line
+// transitions — the quantity proportional to I/O power — over arbitrary
+// word streams.
+package buscode
+
+import "fmt"
+
+// Encoder maps a stream of data words to bus line values. Encoders are
+// stateful: several codes depend on the previously transmitted lines.
+type Encoder interface {
+	Name() string
+	// Lines is the number of physical bus lines used.
+	Lines() int
+	// Encode returns the line values transmitted for the next word.
+	Encode(word uint) []bool
+	// Decode recovers the word from received line values (stateful,
+	// mirrors Encode).
+	Decode(lines []bool) uint
+	// Reset returns the encoder and decoder to the initial bus state.
+	Reset()
+}
+
+// Binary is the unencoded baseline: word bits drive the lines directly.
+type Binary struct {
+	W int
+}
+
+// Name implements Encoder.
+func (b *Binary) Name() string { return fmt.Sprintf("binary%d", b.W) }
+
+// Lines implements Encoder.
+func (b *Binary) Lines() int { return b.W }
+
+// Encode implements Encoder.
+func (b *Binary) Encode(word uint) []bool { return toBits(word, b.W) }
+
+// Decode implements Encoder.
+func (b *Binary) Decode(lines []bool) uint { return fromBits(lines) }
+
+// Reset implements Encoder.
+func (b *Binary) Reset() {}
+
+// BusInvert implements the survey's worked example: an extra line E
+// signals that the transmitted word is bitwise complemented. Before each
+// transfer the sender counts how many lines would toggle; if more than
+// half, it sends the complement with E=1. The survey's example: previous
+// 0000, current 1011 → transmit 0100 with E asserted.
+type BusInvert struct {
+	W     int
+	prev  []bool // previous line values (data lines only)
+	prevE bool
+}
+
+// NewBusInvert returns a bus-invert coder for w data bits (w+1 lines).
+func NewBusInvert(w int) *BusInvert {
+	b := &BusInvert{W: w}
+	b.Reset()
+	return b
+}
+
+// Name implements Encoder.
+func (b *BusInvert) Name() string { return fmt.Sprintf("businvert%d", b.W) }
+
+// Lines implements Encoder.
+func (b *BusInvert) Lines() int { return b.W + 1 }
+
+// Encode implements Encoder.
+func (b *BusInvert) Encode(word uint) []bool {
+	cur := toBits(word, b.W)
+	toggles := 0
+	for i, v := range cur {
+		if v != b.prev[i] {
+			toggles++
+		}
+	}
+	// The decision in [39]: invert when more than half the data lines
+	// would toggle (ties favour no inversion).
+	invert := toggles > b.W/2
+	out := make([]bool, b.W+1)
+	for i, v := range cur {
+		if invert {
+			out[i] = !v
+		} else {
+			out[i] = v
+		}
+	}
+	out[b.W] = invert
+	copy(b.prev, out[:b.W])
+	b.prevE = invert
+	return out
+}
+
+// Decode implements Encoder.
+func (b *BusInvert) Decode(lines []bool) uint {
+	data := make([]bool, b.W)
+	copy(data, lines[:b.W])
+	if lines[b.W] {
+		for i := range data {
+			data[i] = !data[i]
+		}
+	}
+	return fromBits(data)
+}
+
+// Reset implements Encoder.
+func (b *BusInvert) Reset() {
+	b.prev = make([]bool, b.W)
+	b.prevE = false
+}
+
+// GrayCode transmits the Gray encoding of each word — one line toggle per
+// unit step, ideal for instruction-address buses.
+type GrayCode struct {
+	W int
+}
+
+// Name implements Encoder.
+func (g *GrayCode) Name() string { return fmt.Sprintf("gray%d", g.W) }
+
+// Lines implements Encoder.
+func (g *GrayCode) Lines() int { return g.W }
+
+// Encode implements Encoder.
+func (g *GrayCode) Encode(word uint) []bool { return toBits(word^(word>>1), g.W) }
+
+// Decode implements Encoder.
+func (g *GrayCode) Decode(lines []bool) uint {
+	v := fromBits(lines)
+	for shift := uint(1); shift < uint(g.W); shift <<= 1 {
+		v ^= v >> shift
+	}
+	return v & ((1 << uint(g.W)) - 1)
+}
+
+// Reset implements Encoder.
+func (g *GrayCode) Reset() {}
+
+// TransitionSignal sends each word as the XOR of the new value with the
+// previous line state, so the number of line toggles equals the weight of
+// the word rather than the Hamming distance between consecutive words —
+// a limited-weight-code building block from [39]. It pays off when words
+// are sparse (few 1 bits).
+type TransitionSignal struct {
+	W       int
+	state   []bool
+	rxState []bool
+}
+
+// NewTransitionSignal returns a transition-signaling coder.
+func NewTransitionSignal(w int) *TransitionSignal {
+	t := &TransitionSignal{W: w}
+	t.Reset()
+	return t
+}
+
+// Name implements Encoder.
+func (t *TransitionSignal) Name() string { return fmt.Sprintf("transition%d", t.W) }
+
+// Lines implements Encoder.
+func (t *TransitionSignal) Lines() int { return t.W }
+
+// Encode implements Encoder.
+func (t *TransitionSignal) Encode(word uint) []bool {
+	bits := toBits(word, t.W)
+	out := make([]bool, t.W)
+	for i := range out {
+		out[i] = t.state[i] != bits[i] // toggle line i iff bit i set... (XOR accumulate)
+		t.state[i] = out[i]
+	}
+	return out
+}
+
+// Decode implements Encoder.
+func (t *TransitionSignal) Decode(lines []bool) uint {
+	bits := make([]bool, t.W)
+	for i := range bits {
+		bits[i] = lines[i] != t.rxState[i]
+		t.rxState[i] = lines[i]
+	}
+	return fromBits(bits)
+}
+
+// Reset implements Encoder.
+func (t *TransitionSignal) Reset() {
+	t.state = make([]bool, t.W)
+	t.rxState = make([]bool, t.W)
+}
+
+func toBits(v uint, w int) []bool {
+	out := make([]bool, w)
+	for i := 0; i < w; i++ {
+		out[i] = v&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+func fromBits(bits []bool) uint {
+	var v uint
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stats aggregates a transition-count run.
+type Stats struct {
+	Encoder     string
+	Lines       int
+	Words       int
+	Transitions int64
+}
+
+// PerWord is the average line transitions per transferred word.
+func (s Stats) PerWord() float64 {
+	if s.Words == 0 {
+		return 0
+	}
+	return float64(s.Transitions) / float64(s.Words)
+}
+
+// CountTransitions drives the encoder over the word stream and counts bus
+// line transitions (lines start at the reset state of all-zero). It also
+// verifies the decode path and returns an error on any mismatch.
+func CountTransitions(e Encoder, words []uint) (Stats, error) {
+	e.Reset()
+	st := Stats{Encoder: e.Name(), Lines: e.Lines(), Words: len(words)}
+	prev := make([]bool, e.Lines())
+	for i, w := range words {
+		lines := e.Encode(w)
+		if len(lines) != e.Lines() {
+			return st, fmt.Errorf("buscode: %s emitted %d lines, declared %d", e.Name(), len(lines), e.Lines())
+		}
+		got := e.Decode(lines)
+		if got != w {
+			return st, fmt.Errorf("buscode: %s decode mismatch at word %d: sent %#x got %#x", e.Name(), i, w, got)
+		}
+		for j, v := range lines {
+			if v != prev[j] {
+				st.Transitions++
+			}
+		}
+		copy(prev, lines)
+	}
+	return st, nil
+}

@@ -1,0 +1,254 @@
+package buscode
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBusInvertPaperExample(t *testing.T) {
+	// Survey example: previous value 0000, current 1011 → transmit 0100
+	// with E asserted (the complement of 1011), then complement at the
+	// receiver.
+	b := NewBusInvert(4)
+	first := b.Encode(0x0)
+	if fromBits(first[:4]) != 0 || first[4] {
+		t.Fatalf("first transfer should be 0000/E=0, got %v", first)
+	}
+	second := b.Encode(0xB) // 1011
+	if !second[4] {
+		t.Error("E line should be asserted for 0000 -> 1011")
+	}
+	if got := fromBits(second[:4]); got != 0x4 { // 0100
+		t.Errorf("transmitted %04b, want 0100", got)
+	}
+	if b.Decode(second) != 0xB {
+		t.Error("receiver should recover 1011")
+	}
+}
+
+func TestBusInvertBoundsToggles(t *testing.T) {
+	// Bus-invert guarantees at most ceil((W+1)/2) transitions per word
+	// counting the E line.
+	b := NewBusInvert(8)
+	r := rand.New(rand.NewSource(2))
+	prev := make([]bool, b.Lines())
+	for i := 0; i < 2000; i++ {
+		w := uint(r.Intn(256))
+		lines := b.Encode(w)
+		if b.Decode(lines) != w {
+			t.Fatal("decode mismatch")
+		}
+		toggles := 0
+		for j := range lines {
+			if lines[j] != prev[j] {
+				toggles++
+			}
+		}
+		if toggles > (8+1)/2+1 {
+			t.Fatalf("word %d: %d toggles exceeds bus-invert bound", i, toggles)
+		}
+		copy(prev, lines)
+	}
+}
+
+func TestAllCodersRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ohr, err := NewOneHotResidue([]int{3, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coders := []Encoder{
+		&Binary{W: 8},
+		NewBusInvert(8),
+		&GrayCode{W: 8},
+		NewTransitionSignal(8),
+		ohr,
+	}
+	for _, e := range coders {
+		e.Reset()
+		maxVal := uint(256)
+		if o, ok := e.(*OneHotResidue); ok {
+			maxVal = o.Range()
+		}
+		for i := 0; i < 500; i++ {
+			w := uint(r.Intn(int(maxVal)))
+			if got := e.Decode(e.Encode(w)); got != w {
+				t.Fatalf("%s: round trip %#x -> %#x", e.Name(), w, got)
+			}
+		}
+	}
+}
+
+func TestCountTransitionsVerifiesDecode(t *testing.T) {
+	words := []uint{0, 11, 4, 255, 128, 1}
+	for _, e := range []Encoder{&Binary{W: 8}, NewBusInvert(8), &GrayCode{W: 8}} {
+		st, err := CountTransitions(e, words)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if st.Words != len(words) || st.Transitions <= 0 {
+			t.Errorf("%s: degenerate stats %+v", e.Name(), st)
+		}
+	}
+	if (Stats{}).PerWord() != 0 {
+		t.Error("empty stats PerWord should be 0")
+	}
+}
+
+func TestBusInvertSavesOnRandomTraffic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	words := make([]uint, 20000)
+	for i := range words {
+		words[i] = uint(r.Intn(1 << 8))
+	}
+	bin, err := CountTransitions(&Binary{W: 8}, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := CountTransitions(NewBusInvert(8), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random 8-bit traffic: binary ~4 toggles/word; bus-invert saves a
+	// measurable fraction even after paying for the E line.
+	if bi.Transitions >= bin.Transitions {
+		t.Errorf("bus-invert (%d) should beat binary (%d) on random traffic",
+			bi.Transitions, bin.Transitions)
+	}
+	saving := 1 - float64(bi.Transitions)/float64(bin.Transitions)
+	if saving < 0.05 || saving > 0.35 {
+		t.Errorf("bus-invert saving %.3f outside the expected 5-35%% band", saving)
+	}
+}
+
+func TestGrayWinsOnSequentialAddresses(t *testing.T) {
+	words := make([]uint, 4096)
+	for i := range words {
+		words[i] = uint(i % 256)
+	}
+	bin, _ := CountTransitions(&Binary{W: 8}, words)
+	gray, _ := CountTransitions(&GrayCode{W: 8}, words)
+	// Sequential counting: binary averages ~2 toggles/word, Gray exactly 1.
+	if gray.PerWord() > 1.01 {
+		t.Errorf("gray sequential toggles/word = %v, want ~1", gray.PerWord())
+	}
+	if bin.PerWord() < 1.9 {
+		t.Errorf("binary sequential toggles/word = %v, want ~2", bin.PerWord())
+	}
+}
+
+func TestTransitionSignalWinsOnSparseData(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	words := make([]uint, 8000)
+	for i := range words {
+		// Sparse: each bit set with probability 0.1.
+		var w uint
+		for b := 0; b < 8; b++ {
+			if r.Float64() < 0.1 {
+				w |= 1 << uint(b)
+			}
+		}
+		words[i] = w
+	}
+	bin, _ := CountTransitions(&Binary{W: 8}, words)
+	ts, _ := CountTransitions(NewTransitionSignal(8), words)
+	if ts.Transitions >= bin.Transitions {
+		t.Errorf("transition signaling (%d) should beat binary (%d) on sparse data",
+			ts.Transitions, bin.Transitions)
+	}
+}
+
+func TestOneHotResidueCountingToggles(t *testing.T) {
+	ohr, err := NewOneHotResidue([]int{3, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint, 1000)
+	for i := range words {
+		words[i] = uint(i) % ohr.Range()
+	}
+	st, err := CountTransitions(ohr, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counting: each of the 3 digits rotates by one each step: exactly 2
+	// toggles per digit per step = 6 per word (after the first).
+	per := float64(st.Transitions-3) / float64(len(words)-1)
+	if per < 5.9 || per > 6.1 {
+		t.Errorf("one-hot residue counting toggles/word = %v, want 6", per)
+	}
+	// A 7-bit binary bus covering a similar range (105 < 128) averages ~2
+	// toggles/word on counting, but the residue coder's toggles are
+	// CONSTANT (worst case = average), whereas binary's worst case is 7.
+	// Verify the constancy claim.
+	prev := make([]bool, ohr.Lines())
+	ohr.Reset()
+	worst := 0
+	for i, w := range words {
+		lines := ohr.Encode(w)
+		tg := 0
+		for j := range lines {
+			if lines[j] != prev[j] {
+				tg++
+			}
+		}
+		copy(prev, lines)
+		if i > 0 && tg > worst {
+			worst = tg
+		}
+	}
+	if worst != 6 {
+		t.Errorf("worst-case toggles = %d, want constant 6", worst)
+	}
+}
+
+func TestOneHotResidueValidation(t *testing.T) {
+	if _, err := NewOneHotResidue(nil); err == nil {
+		t.Error("empty moduli should fail")
+	}
+	if _, err := NewOneHotResidue([]int{4, 6}); err == nil {
+		t.Error("non-coprime moduli should fail")
+	}
+	if _, err := NewOneHotResidue([]int{1, 3}); err == nil {
+		t.Error("modulus 1 should fail")
+	}
+}
+
+func TestAddConstRotation(t *testing.T) {
+	ohr, err := NewOneHotResidue([]int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint(0); v < ohr.Range(); v++ {
+		lines := ohr.Encode(v)
+		for delta := uint(0); delta < 5; delta++ {
+			rot := ohr.AddConstRotation(lines, delta)
+			want := (v + delta) % ohr.Range()
+			if got := ohr.Decode(rot); got != want {
+				t.Fatalf("rotation add: %d + %d = %d, want %d", v, delta, got, want)
+			}
+		}
+	}
+}
+
+func TestCorrelatedTrafficAblatesBusInvert(t *testing.T) {
+	// On random-walk (highly correlated) traffic, consecutive words differ
+	// in few bits, so bus-invert rarely fires and saves little — the
+	// workload-dependence ablation.
+	r := rand.New(rand.NewSource(11))
+	walk := sim.WalkVectors(r, 10000, 8, 2)
+	words := make([]uint, len(walk))
+	for i, v := range walk {
+		words[i] = sim.BitsToUint(v)
+	}
+	bin, _ := CountTransitions(&Binary{W: 8}, words)
+	bi, _ := CountTransitions(NewBusInvert(8), words)
+	randSaving := 0.11 // expected saving on random traffic (approx)
+	corrSaving := 1 - float64(bi.Transitions)/float64(bin.Transitions)
+	if corrSaving > randSaving {
+		t.Errorf("correlated saving %.3f should be below random-traffic saving %.3f",
+			corrSaving, randSaving)
+	}
+}

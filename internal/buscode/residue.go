@@ -1,0 +1,128 @@
+package buscode
+
+import "fmt"
+
+// OneHotResidue implements Chren's one-hot residue coding [11]: a value is
+// represented in a residue number system with pairwise-coprime moduli,
+// each residue digit transmitted one-hot. Incrementing a value rotates
+// each one-hot digit by one position, so arithmetic progressions toggle
+// exactly two lines per digit regardless of word width, and RNS addition
+// itself reduces to rotation — the source of the low delay-power product.
+type OneHotResidue struct {
+	Moduli []int
+	state  []bool
+	rx     []bool
+	lines  int
+	rng    uint
+}
+
+// NewOneHotResidue builds a coder over the given moduli. The coder can
+// represent values in [0, Π moduli).
+func NewOneHotResidue(moduli []int) (*OneHotResidue, error) {
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("buscode: residue coder needs moduli")
+	}
+	prod := uint(1)
+	lines := 0
+	for i, m := range moduli {
+		if m < 2 {
+			return nil, fmt.Errorf("buscode: modulus %d invalid", m)
+		}
+		for j := 0; j < i; j++ {
+			if gcd(m, moduli[j]) != 1 {
+				return nil, fmt.Errorf("buscode: moduli %d and %d not coprime", m, moduli[j])
+			}
+		}
+		prod *= uint(m)
+		lines += m
+	}
+	o := &OneHotResidue{Moduli: append([]int(nil), moduli...), lines: lines, rng: prod}
+	o.Reset()
+	return o, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Range returns the number of representable values (product of moduli).
+func (o *OneHotResidue) Range() uint { return o.rng }
+
+// Name implements Encoder.
+func (o *OneHotResidue) Name() string { return fmt.Sprintf("onehot-rns%v", o.Moduli) }
+
+// Lines implements Encoder.
+func (o *OneHotResidue) Lines() int { return o.lines }
+
+// Encode implements Encoder.
+func (o *OneHotResidue) Encode(word uint) []bool {
+	word %= o.rng
+	out := make([]bool, o.lines)
+	base := 0
+	for _, m := range o.Moduli {
+		out[base+int(word)%m] = true
+		base += m
+	}
+	copy(o.state, out)
+	return out
+}
+
+// Decode implements Encoder (Chinese Remainder reconstruction).
+func (o *OneHotResidue) Decode(lines []bool) uint {
+	base := 0
+	var residues []int
+	for _, m := range o.Moduli {
+		r := -1
+		for i := 0; i < m; i++ {
+			if lines[base+i] {
+				r = i
+				break
+			}
+		}
+		if r < 0 {
+			r = 0
+		}
+		residues = append(residues, r)
+		base += m
+	}
+	// CRT by search is fine for the small ranges used here.
+	for v := uint(0); v < o.rng; v++ {
+		ok := true
+		for i, m := range o.Moduli {
+			if int(v)%m != residues[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// Reset implements Encoder.
+func (o *OneHotResidue) Reset() {
+	o.state = make([]bool, o.lines)
+	o.rx = make([]bool, o.lines)
+}
+
+// AddConstRotation models RNS addition of a constant as per-digit
+// rotation: it returns the line vector of value+delta given the line
+// vector of value, touching each digit with exactly one rotate — the
+// constant-time arithmetic structure of [11].
+func (o *OneHotResidue) AddConstRotation(lines []bool, delta uint) []bool {
+	out := make([]bool, o.lines)
+	base := 0
+	for _, m := range o.Moduli {
+		shift := int(delta) % m
+		for i := 0; i < m; i++ {
+			out[base+(i+shift)%m] = lines[base+i]
+		}
+		base += m
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package circuits
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// BLIFCorpus returns a set of small classic benchmark circuits expressed
+// in the BLIF subset — the textual form the MCNC benchmarks of the
+// surveyed papers were distributed in. They exercise the BLIF reader and
+// provide irregular (non-generated) structures for the optimization
+// passes.
+func BLIFCorpus() (map[string]*logic.Network, error) {
+	out := make(map[string]*logic.Network, len(blifSources))
+	for name, src := range blifSources {
+		nw, err := logic.ReadBLIF(strings.NewReader(src))
+		if err != nil {
+			return nil, fmt.Errorf("circuits: corpus %s: %w", name, err)
+		}
+		out[name] = nw
+	}
+	return out, nil
+}
+
+var blifSources = map[string]string{
+	// ISCAS-85 C17: the canonical 6-NAND benchmark.
+	"c17": `
+.model c17
+.inputs n1 n2 n3 n6 n7
+.outputs n22 n23
+.names n1 n3 n10
+11 0
+.names n3 n6 n11
+11 0
+.names n2 n11 n16
+11 0
+.names n11 n7 n19
+11 0
+.names n10 n16 n22
+11 0
+.names n16 n19 n23
+11 0
+.end
+`,
+	// Majority-of-three voter.
+	"maj3": `
+.model maj3
+.inputs a b c
+.outputs m
+.names a b c m
+11- 1
+1-1 1
+-11 1
+.end
+`,
+	// Full adder in two covers.
+	"fadd": `
+.model fadd
+.inputs a b cin
+.outputs s cout
+.names a b cin s
+001 1
+010 1
+100 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`,
+	// 2-bit magnitude comparator (a > b).
+	"cmp2": `
+.model cmp2
+.inputs a1 a0 b1 b0
+.outputs gt
+# a>b: a1>b1, or a1==b1 and a0>b0
+.names a1 a0 b1 b0 gt
+1-0- 1
+1110 1
+0100 1
+.end
+`,
+	// Decade counter fragment: 2-bit counter with enable (sequential).
+	"cnt2": `
+.model cnt2
+.inputs en
+.outputs q1 q0
+.latch d0 q0 0
+.latch d1 q1 0
+.names en q0 d0
+10 1
+01 1
+.names en q0 q1 d1
+110 1
+0-1 1
+-01 1
+.end
+`,
+}

@@ -1,0 +1,261 @@
+// Package core is the survey's unifying frame turned into code: a pass
+// manager that chains the toolkit's logic-level power optimizations over a
+// common power-report format, mirroring how the surveyed methods are
+// "incorporated into state-of-the-art CAD frameworks" (§VI). Each pass is
+// one technique from the survey; a Flow runs a sequence with power, area
+// and glitch accounting before and after every step, and (for small
+// circuits) verifies functional equivalence after each rewrite.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/balance"
+	"repro/internal/dontcare"
+	"repro/internal/logic"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Context carries the shared evaluation environment through a flow.
+type Context struct {
+	Params    power.Params
+	CapModel  power.CapModel
+	InputProb power.Probabilities
+	// Vectors drive the simulated (glitch-aware) power measurement; if
+	// nil, NewContext generates random vectors.
+	Vectors [][]bool
+	Rand    *rand.Rand
+	// Verify enables exhaustive equivalence checking after each pass
+	// (only for networks with <= 16 inputs).
+	Verify bool
+}
+
+// NewContext builds a default context for a network: 1995 parameters,
+// minimum-size balancing buffers, uniform inputs, 400 random vectors.
+func NewContext(nw *logic.Network, seed int64) *Context {
+	r := rand.New(rand.NewSource(seed))
+	return &Context{
+		Params:   power.DefaultParams(),
+		CapModel: power.BufferWeightedCap(0.25),
+		Vectors:  sim.RandomVectors(r, 400, len(nw.PIs()), 0.5),
+		Rand:     r,
+		Verify:   true,
+	}
+}
+
+// Snapshot is the common power-report row.
+type Snapshot struct {
+	Label     string
+	Gates     int
+	Depth     int
+	ExactP    float64 // zero-delay probabilistic power (Eqn. 1)
+	SimP      float64 // event-driven power including glitches
+	Spurious  float64 // spurious fraction of simulated transitions
+	FlipFlops int
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("%-22s gates=%4d depth=%3d ff=%3d exactP=%9.2f simP=%9.2f glitch=%5.1f%%",
+		s.Label, s.Gates, s.Depth, s.FlipFlops, s.ExactP, s.SimP, 100*s.Spurious)
+}
+
+// Measure evaluates a network under the context.
+func Measure(nw *logic.Network, ctx *Context, label string) (Snapshot, error) {
+	st := nw.Stats()
+	snap := Snapshot{Label: label, Gates: st.Gates, Depth: st.Levels, FlipFlops: st.FFs}
+	inProb := ctx.InputProb
+	if len(nw.FFs()) > 0 {
+		seq, err := power.SequentialProbabilities(nw, rand.New(rand.NewSource(1)), 1000, 0.5)
+		if err != nil {
+			return snap, err
+		}
+		inProb = seq
+	}
+	exact, err := power.EstimateExact(nw, ctx.Params, ctx.CapModel, inProb)
+	if err != nil {
+		return snap, err
+	}
+	snap.ExactP = exact.Total()
+	rep, tot, err := power.EstimateSimulated(nw, ctx.Params, ctx.CapModel, sim.UnitDelay, ctx.Vectors)
+	if err != nil {
+		return snap, err
+	}
+	snap.SimP = rep.Total()
+	snap.Spurious = tot.SpuriousFraction()
+	return snap, nil
+}
+
+// Pass is one optimization step.
+type Pass struct {
+	Name        string
+	Description string
+	// Level is the survey abstraction level the pass belongs to.
+	Level string
+	Run   func(nw *logic.Network, ctx *Context) error
+}
+
+// Registry returns the built-in passes by name.
+func Registry() map[string]Pass {
+	passes := []Pass{
+		{
+			Name: "sweep", Level: "logic",
+			Description: "remove dead logic",
+			Run: func(nw *logic.Network, ctx *Context) error {
+				nw.SweepDead()
+				return nil
+			},
+		},
+		{
+			Name: "strash", Level: "logic",
+			Description: "structural hashing and constant folding",
+			Run: func(nw *logic.Network, ctx *Context) error {
+				_, err := logic.Strash(nw)
+				return err
+			},
+		},
+		{
+			Name: "dontcare-area", Level: "logic",
+			Description: "don't-care simplification targeting literal count [37]",
+			Run: func(nw *logic.Network, ctx *Context) error {
+				_, err := dontcare.OptimizeNetwork(nw, dontcare.Options{
+					Objective: dontcare.Area, UseODC: true,
+					InputProb: ctx.InputProb, Params: ctx.Params,
+				})
+				return err
+			},
+		},
+		{
+			Name: "dontcare-power", Level: "logic",
+			Description: "don't-care assignment minimizing switching activity [38,19]",
+			Run: func(nw *logic.Network, ctx *Context) error {
+				_, err := dontcare.OptimizeNetwork(nw, dontcare.Options{
+					Objective: dontcare.NetworkPower, UseODC: true,
+					InputProb: ctx.InputProb, Params: ctx.Params,
+				})
+				return err
+			},
+		},
+		{
+			Name: "balance", Level: "logic",
+			Description: "full path balancing: eliminate spurious transitions [16,25]",
+			Run: func(nw *logic.Network, ctx *Context) error {
+				_, err := balance.Balance(nw, balance.Options{MaxSkew: 0})
+				return err
+			},
+		},
+		{
+			Name: "balance-partial", Level: "logic",
+			Description: "partial path balancing (skew budget 1)",
+			Run: func(nw *logic.Network, ctx *Context) error {
+				_, err := balance.Balance(nw, balance.Options{MaxSkew: 1})
+				return err
+			},
+		},
+	}
+	out := make(map[string]Pass, len(passes))
+	for _, p := range passes {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// PassNames lists registered passes sorted by name.
+func PassNames() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Flow is a named pass sequence.
+type Flow struct {
+	Name   string
+	Passes []string
+}
+
+// StandardFlows returns the canonical flows: the area-driven baseline and
+// the survey's low-power recipe.
+func StandardFlows() map[string]Flow {
+	return map[string]Flow{
+		"area":     {Name: "area", Passes: []string{"strash", "dontcare-area", "sweep"}},
+		"lowpower": {Name: "lowpower", Passes: []string{"strash", "dontcare-power", "sweep", "balance"}},
+		"glitch":   {Name: "glitch", Passes: []string{"strash", "balance"}},
+	}
+}
+
+// FlowReport records the trajectory of one flow run.
+type FlowReport struct {
+	Flow  string
+	Steps []Snapshot
+}
+
+// Initial and Final expose the first and last snapshots.
+func (fr *FlowReport) Initial() Snapshot { return fr.Steps[0] }
+
+// Final returns the last snapshot.
+func (fr *FlowReport) Final() Snapshot { return fr.Steps[len(fr.Steps)-1] }
+
+func (fr *FlowReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow %s:\n", fr.Flow)
+	for _, s := range fr.Steps {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	if len(fr.Steps) > 1 && fr.Initial().SimP > 0 {
+		fmt.Fprintf(&b, "  simulated power %.2f -> %.2f (%.1f%%)\n",
+			fr.Initial().SimP, fr.Final().SimP,
+			100*(fr.Final().SimP-fr.Initial().SimP)/fr.Initial().SimP)
+	}
+	return b.String()
+}
+
+// RunFlow applies the flow's passes to the network in place, measuring
+// after each pass and verifying equivalence when the context asks for it.
+func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
+	reg := Registry()
+	rep := &FlowReport{Flow: flow.Name}
+	snap, err := Measure(nw, ctx, "initial")
+	if err != nil {
+		return nil, err
+	}
+	rep.Steps = append(rep.Steps, snap)
+	var golden *logic.Network
+	verify := ctx.Verify && len(nw.PIs()) <= 16 && len(nw.FFs()) == 0
+	if verify {
+		golden = nw.Clone()
+	}
+	for _, name := range flow.Passes {
+		p, ok := reg[name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown pass %q in flow %q", name, flow.Name)
+		}
+		if err := p.Run(nw, ctx); err != nil {
+			return nil, fmt.Errorf("core: pass %q: %w", name, err)
+		}
+		if err := nw.Check(); err != nil {
+			return nil, fmt.Errorf("core: pass %q corrupted network: %w", name, err)
+		}
+		if verify {
+			eq, err := logic.Equivalent(golden, nw)
+			if err != nil {
+				return nil, err
+			}
+			if !eq {
+				return nil, fmt.Errorf("core: pass %q changed the circuit function", name)
+			}
+		}
+		snap, err := Measure(nw, ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		rep.Steps = append(rep.Steps, snap)
+	}
+	return rep, nil
+}

@@ -1,0 +1,250 @@
+package dontcare
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/logic"
+	"repro/internal/power"
+	"repro/internal/sop"
+)
+
+// Objective selects what the don't-care assignment optimizes.
+type Objective int
+
+// Objectives.
+const (
+	// Area minimizes literal count (the classic use of don't-cares [37]).
+	Area Objective = iota
+	// NodeActivity pushes the node's signal probability away from 1/2 to
+	// minimize its own switching activity (Shen et al. [38]).
+	NodeActivity
+	// NetworkPower evaluates candidate implementations by exact
+	// whole-network power, capturing the effect on the transitive fanout
+	// (Iman/Pedram [19]).
+	NetworkPower
+)
+
+func (o Objective) String() string {
+	switch o {
+	case Area:
+		return "area"
+	case NodeActivity:
+		return "node-activity"
+	case NetworkPower:
+		return "network-power"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}
+
+// Options configures the network optimization pass.
+type Options struct {
+	Objective Objective
+	// UseODC includes observability don't-cares (default: only
+	// controllability). ODCs are what make the fanout-aware objective
+	// meaningful.
+	UseODC bool
+	// InputProb gives source-node probabilities (nil = uniform).
+	InputProb power.Probabilities
+	// Params for power evaluation under the NetworkPower objective.
+	Params power.Params
+	// MaxFanin skips gates with more local inputs than this (default 8).
+	MaxFanin int
+}
+
+// Result reports the pass outcome.
+type Result struct {
+	NodesRewritten int
+	NodesVisited   int
+}
+
+// OptimizeNetwork rewrites gates of the network in place using their
+// don't-care sets, per the configured objective. The network's primary
+// output functions are preserved exactly.
+func OptimizeNetwork(nw *logic.Network, opts Options) (Result, error) {
+	if opts.MaxFanin <= 0 {
+		opts.MaxFanin = 8
+	}
+	if opts.Params == (power.Params{}) {
+		opts.Params = power.DefaultParams()
+	}
+	var res Result
+	// Snapshot gate list: rewrites add nodes we must not revisit.
+	gates := nw.Gates()
+	for _, id := range gates {
+		n := nw.Node(id)
+		if n == nil || !n.Type.IsGate() || n.Type == logic.Buf || n.Type == logic.Not {
+			continue
+		}
+		if len(n.Fanin) > opts.MaxFanin {
+			continue
+		}
+		res.NodesVisited++
+		changed, err := optimizeNode(nw, id, opts)
+		if err != nil {
+			return res, err
+		}
+		if changed {
+			res.NodesRewritten++
+		}
+	}
+	nw.SweepDead()
+	return res, nil
+}
+
+func optimizeNode(nw *logic.Network, id logic.NodeID, opts Options) (bool, error) {
+	dc, err := Analyze(nw, id, opts.InputProb, opts.UseODC)
+	if err != nil {
+		return false, err
+	}
+	if dc.DC.IsEmpty() {
+		return false, nil
+	}
+	n := nw.Node(id)
+	k := len(n.Fanin)
+
+	// Candidate covers.
+	type candidate struct {
+		cover *sop.Cover
+		tag   string
+	}
+	var cands []candidate
+
+	areaCover, err := sop.Minimize(dc.On, sop.MinimizeOptions{DontCare: dc.DC})
+	if err != nil {
+		return false, err
+	}
+	cands = append(cands, candidate{areaCover, "area"})
+
+	if opts.Objective != Area {
+		lo, hi := dcPolarized(dc, k)
+		loMin, err := sop.Minimize(lo, sop.MinimizeOptions{})
+		if err != nil {
+			return false, err
+		}
+		hiMin, err := sop.Minimize(hi, sop.MinimizeOptions{})
+		if err != nil {
+			return false, err
+		}
+		cands = append(cands, candidate{loMin, "dc->0"}, candidate{hiMin, "dc->1"})
+	}
+
+	switch opts.Objective {
+	case Area:
+		// Accept the area cover if it reduces literals vs the current gate.
+		cur := float64(dc.On.NumLiterals())
+		if float64(areaCover.NumLiterals()) < cur {
+			return applyCover(nw, id, areaCover, dc.Fanins)
+		}
+		return false, nil
+
+	case NodeActivity:
+		// Pick the candidate whose node probability is farthest from 1/2.
+		best, bestDist := -1, -1.0
+		for i, c := range cands {
+			p := coverProb(c.cover, dc.PatternProb, k)
+			d := math.Abs(p - 0.5)
+			if d > bestDist {
+				best, bestDist = i, d
+			}
+		}
+		curDist := math.Abs(coverProb(dc.On, dc.PatternProb, k) - 0.5)
+		if bestDist <= curDist+1e-12 {
+			return false, nil
+		}
+		return applyCover(nw, id, cands[best].cover, dc.Fanins)
+
+	case NetworkPower:
+		// Evaluate each candidate by full-network exact power.
+		base, err := power.EstimateExact(nw, opts.Params, nil, opts.InputProb)
+		if err != nil {
+			return false, err
+		}
+		bestPower := base.Total()
+		var bestCover *sop.Cover
+		for _, c := range cands {
+			trial := nw.Clone()
+			if _, err := applyCover(trial, id, c.cover, dc.Fanins); err != nil {
+				return false, err
+			}
+			trial.SweepDead()
+			rep, err := power.EstimateExact(trial, opts.Params, nil, opts.InputProb)
+			if err != nil {
+				return false, err
+			}
+			if rep.Total() < bestPower-1e-9 {
+				bestPower = rep.Total()
+				bestCover = c.cover
+			}
+		}
+		if bestCover == nil {
+			return false, nil
+		}
+		return applyCover(nw, id, bestCover, dc.Fanins)
+	}
+	return false, fmt.Errorf("dontcare: unknown objective %v", opts.Objective)
+}
+
+// dcPolarized returns the two bulk assignments of the DC set: all
+// don't-care patterns to 0 (onset = On − DC) and all to 1 (onset = On ∪
+// DC).
+func dcPolarized(dc *NodeDC, k int) (lo, hi *sop.Cover) {
+	lo = sop.NewCover(k)
+	hi = dc.On.Clone()
+	for pat := 0; pat < 1<<k; pat++ {
+		m := patternBits(pat, k)
+		inDC := dc.DC.Eval(m)
+		on := dc.On.Eval(m)
+		if on && !inDC {
+			lo.Cubes = append(lo.Cubes, mintermCube(pat, k))
+		}
+		if inDC && !on {
+			hi.Cubes = append(hi.Cubes, mintermCube(pat, k))
+		}
+	}
+	return lo, hi
+}
+
+// coverProb computes the node probability of a cover under the exact local
+// pattern distribution.
+func coverProb(cv *sop.Cover, patternProb []float64, k int) float64 {
+	p := 0.0
+	for pat := 0; pat < 1<<k; pat++ {
+		if cv.Eval(patternBits(pat, k)) {
+			p += patternProb[pat]
+		}
+	}
+	return p
+}
+
+func patternBits(pat, k int) []bool {
+	m := make([]bool, k)
+	for j := 0; j < k; j++ {
+		m[j] = pat&(1<<j) != 0
+	}
+	return m
+}
+
+func mintermCube(pat, k int) sop.Cube {
+	c := make(sop.Cube, k)
+	for j := 0; j < k; j++ {
+		if pat&(1<<j) != 0 {
+			c[j] = sop.One
+		} else {
+			c[j] = sop.Zero
+		}
+	}
+	return c
+}
+
+func applyCover(nw *logic.Network, id logic.NodeID, cv *sop.Cover, fanins []logic.NodeID) (bool, error) {
+	name := nw.Node(id).Name + "_dc"
+	root, err := sop.SynthesizeCover(nw, name, cv, fanins)
+	if err != nil {
+		return false, err
+	}
+	if err := nw.ReplaceNode(id, root); err != nil {
+		return false, err
+	}
+	return true, nil
+}

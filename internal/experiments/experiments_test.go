@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct parses a "12.3%" cell.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad float cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tbl, err := ex.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != ex.ID || len(tbl.Rows) == 0 || len(tbl.Header) == 0 {
+				t.Fatalf("malformed table %+v", tbl)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row width %d != header width %d", len(row), len(tbl.Header))
+				}
+			}
+			if !strings.Contains(tbl.Format(), ex.ID) {
+				t.Error("Format() should include the experiment ID")
+			}
+		})
+	}
+}
+
+func TestE1SwitchingShareClaim(t *testing.T) {
+	tbl, err := E1PowerBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		share := parsePct(t, row[len(row)-1])
+		if share < 90 {
+			t.Errorf("%s: switching share %.1f%% < 90%%", row[0], share)
+		}
+	}
+}
+
+func TestE2ReorderingSavesPower(t *testing.T) {
+	tbl, err := E2Reordering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		saving := parsePct(t, row[5])
+		if saving < 5 {
+			t.Errorf("%s: reordering saving %.1f%% too small", row[0], saving)
+		}
+	}
+}
+
+func TestE3SizingMonotone(t *testing.T) {
+	tbl, err := E3Sizing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, row := range tbl.Rows {
+		sc := parseF(t, row[2])
+		if sc > prev+1e-9 {
+			t.Errorf("switched cap not monotone: %v after %v", sc, prev)
+		}
+		prev = sc
+	}
+}
+
+func TestE5GlitchShareInPaperBand(t *testing.T) {
+	tbl, err := E5PathBalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	multRows := 0
+	for _, row := range tbl.Rows {
+		share := parsePct(t, row[1])
+		if strings.HasPrefix(row[0], "mult") || strings.HasPrefix(row[0], "radd") {
+			multRows++
+			if share < 10 || share > 60 {
+				t.Errorf("%s: glitch share %.1f%% far outside the paper's 10-40%% band", row[0], share)
+			}
+		}
+		// Full balancing with min-size buffers should win on multipliers.
+		if strings.HasPrefix(row[0], "mult") {
+			if ratio := parseF(t, row[4]); ratio >= 1.0 {
+				t.Errorf("%s: min-buffer balancing ratio %.3f should be < 1", row[0], ratio)
+			}
+			if ratio := parseF(t, row[6]); ratio <= 1.0 {
+				t.Errorf("%s: full-size buffers should offset savings, ratio %.3f", row[0], ratio)
+			}
+		}
+	}
+	if multRows == 0 {
+		t.Fatal("no multiplier rows")
+	}
+}
+
+func TestE9BusInvertClaims(t *testing.T) {
+	tbl, err := E9BusInvert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		bin := parseF(t, row[2])
+		bi := parseF(t, row[3])
+		gray := parseF(t, row[5])
+		switch row[0] {
+		case "random":
+			if bi >= bin {
+				t.Errorf("random: bus-invert %v should beat binary %v", bi, bin)
+			}
+		case "counting":
+			if gray > 1.01 {
+				t.Errorf("counting: gray %v should be ~1 toggle/word", gray)
+			}
+		}
+	}
+}
+
+func TestE13PrecomputationShape(t *testing.T) {
+	tbl, err := E13Precomputation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 5 is total/baseline; j=1 must save, and no mismatches anywhere.
+	if ratio := parseF(t, tbl.Rows[1][5]); ratio >= 0.95 {
+		t.Errorf("j=1 ratio %.3f should show a clear saving", ratio)
+	}
+	for _, row := range tbl.Rows {
+		if row[6] != "0" {
+			t.Errorf("j=%s has output mismatches", row[0])
+		}
+	}
+}
+
+func TestE14ActivityModelBestOnWalk(t *testing.T) {
+	tbl, err := E14ArchModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "walk" {
+			continue
+		}
+		gc := parsePct(t, row[4])
+		fixed := parsePct(t, row[5])
+		act := parsePct(t, row[6])
+		if act >= fixed || act >= gc {
+			t.Errorf("%s/walk: activity error %.1f%% should beat fixed %.1f%% and gatecount %.1f%%",
+				row[0], act, fixed, gc)
+		}
+	}
+}
+
+func TestE15QuadraticVoltageWin(t *testing.T) {
+	tbl, err := E15Behavioral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := parseF(t, tbl.Rows[0][3])
+	par2 := parseF(t, tbl.Rows[1][3])
+	par4 := parseF(t, tbl.Rows[2][3])
+	if !(par4 < par2 && par2 < direct) {
+		t.Errorf("power should fall with parallelism: %v %v %v", direct, par2, par4)
+	}
+	// The x2 saving should be near the quadratic prediction (V2/V1)^2.
+	v1 := parseF(t, tbl.Rows[0][1])
+	v2 := parseF(t, tbl.Rows[1][1])
+	predicted := (v2 * v2) / (v1 * v1) // energy scaling; capacitance x2 and rate /2 cancel
+	actual := par2 / direct
+	if actual > predicted*1.1 || actual < predicted*0.9 {
+		t.Errorf("x2 power ratio %.3f should track the quadratic prediction %.3f", actual, predicted)
+	}
+}
+
+func TestE16FasterIsLowerEnergy(t *testing.T) {
+	tbl, err := E16Software()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the three sum variants and two searches: fewer cycles => less
+	// energy, pairwise.
+	type pt struct{ cycles, energy float64 }
+	var sums, searches []pt
+	for _, row := range tbl.Rows {
+		p := pt{parseF(t, row[2]), parseF(t, row[3])}
+		switch {
+		case strings.HasPrefix(row[0], "sum"):
+			sums = append(sums, p)
+		case strings.Contains(row[0], "search"):
+			searches = append(searches, p)
+		}
+	}
+	check := func(ps []pt, label string) {
+		for i := range ps {
+			for j := range ps {
+				if ps[i].cycles < ps[j].cycles && ps[i].energy >= ps[j].energy {
+					t.Errorf("%s: faster variant (%v cycles) not lower energy", label, ps[i].cycles)
+				}
+			}
+		}
+	}
+	check(sums, "sums")
+	check(searches, "searches")
+}
+
+func TestProbabilityAblationParityExact(t *testing.T) {
+	tbl, err := ProbabilityAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[0] == "par16" && parseF(t, row[1]) != 0 {
+			t.Error("propagation should be exact on a tree")
+		}
+		if strings.HasPrefix(row[0], "cmp") && parseF(t, row[1]) == 0 {
+			t.Error("reconvergent circuit should show approximation error")
+		}
+	}
+}
+
+func TestBuildNamedUnknown(t *testing.T) {
+	if _, err := buildNamed("nope"); err == nil {
+		t.Error("unknown circuit should fail")
+	}
+}

@@ -1,0 +1,269 @@
+// Package gating implements gated clocks (survey §III.C.3): detecting
+// cycles in which registers need not load and shutting their clocks off.
+// The FSM transformation follows Benini and De Micheli [4]: synthesize an
+// activation function that is false exactly on the self-loop edges of the
+// state transition graph, and gate the state register with it. Savings are
+// accounted explicitly: the clock line into each flip-flop is the one net
+// guaranteed to switch every cycle in an ungated design, so stopping it
+// for idle registers removes clockCap·Vdd²·f per gated cycle, at the cost
+// of the activation logic and the gating latch.
+package gating
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/encode"
+	"repro/internal/logic"
+	"repro/internal/power"
+	"repro/internal/sop"
+	"repro/internal/stg"
+)
+
+// Gated is a synthesized FSM whose state register is clock-gated on
+// self-loops.
+type Gated struct {
+	Network *logic.Network
+	// Enable is the activation-function node: false in a cycle means the
+	// state register's clock is stopped (the registers hold via
+	// recirculation in this model, which is functionally identical).
+	Enable logic.NodeID
+	// GatingGates is the number of gates added for the activation function
+	// and hold muxes (the overhead the survey warns about).
+	GatingGates int
+	// HoldMuxes lists the recirculation-mux nodes. They exist so that the
+	// gated network simulates correctly with an always-running clock; real
+	// clock gating stops the clock instead (one latch+AND cell for the
+	// whole register bank), so power accounting excludes them and charges
+	// a gating-cell term instead.
+	HoldMuxes map[logic.NodeID]bool
+}
+
+// GateSelfLoops synthesizes the machine under the encoding and adds
+// self-loop clock gating. The returned network is functionally identical
+// to encode.Synthesize(g, e); the Enable node reports when the clock
+// would actually tick.
+func GateSelfLoops(g *stg.STG, e encode.Encoding) (*Gated, error) {
+	nw, err := encode.Synthesize(g, e)
+	if err != nil {
+		return nil, err
+	}
+	before := nw.NumGates()
+
+	// Activation function: EN = NOT(OR of self-loop edge cubes) over
+	// (inputs, state bits).
+	nVars := g.NumInputs + e.Bits
+	selfLoop := sop.NewCover(nVars)
+	for _, ed := range g.Edges {
+		if ed.From != ed.To {
+			continue
+		}
+		cube := sop.NewCube(nVars)
+		for i, ch := range ed.In {
+			switch ch {
+			case '0':
+				cube[i] = sop.Zero
+			case '1':
+				cube[i] = sop.One
+			}
+		}
+		code := e.Code[ed.From]
+		for b := 0; b < e.Bits; b++ {
+			if code&(1<<uint(b)) != 0 {
+				cube[g.NumInputs+b] = sop.One
+			} else {
+				cube[g.NumInputs+b] = sop.Zero
+			}
+		}
+		selfLoop.Cubes = append(selfLoop.Cubes, cube)
+	}
+	minLoop, err := sop.Minimize(selfLoop, sop.MinimizeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	vars := make([]logic.NodeID, nVars)
+	for i := 0; i < g.NumInputs; i++ {
+		id := nw.ByName(fmt.Sprintf("x%d", i))
+		if id == logic.InvalidNode {
+			return nil, fmt.Errorf("gating: input x%d missing from synthesized FSM", i)
+		}
+		vars[i] = id
+	}
+	for b := 0; b < e.Bits; b++ {
+		id := nw.ByName(fmt.Sprintf("q%d", b))
+		if id == logic.InvalidNode {
+			return nil, fmt.Errorf("gating: state bit q%d missing from synthesized FSM", b)
+		}
+		vars[g.NumInputs+b] = id
+	}
+	loopNode, err := sop.SynthesizeCover(nw, "selfloop", minLoop, vars)
+	if err != nil {
+		return nil, err
+	}
+	en, err := nw.AddGate("gate_en", logic.Not, loopNode)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hold muxes: D' = EN ? D : Q. Functionally a no-op on self-loops (the
+	// next state equals the current state there), so equivalence is
+	// preserved; the mux stands in for the stopped clock.
+	muxes := make(map[logic.NodeID]bool)
+	for b := 0; b < e.Bits; b++ {
+		ff := nw.ByName(fmt.Sprintf("q%d", b))
+		d := nw.Node(ff).Fanin[0]
+		t1, err := nw.AddGate(fmt.Sprintf("gm%d_a", b), logic.And, en, d)
+		if err != nil {
+			return nil, err
+		}
+		nen, err := invOf(nw, en)
+		if err != nil {
+			return nil, err
+		}
+		t0, err := nw.AddGate(fmt.Sprintf("gm%d_b", b), logic.And, nen, ff)
+		if err != nil {
+			return nil, err
+		}
+		mux, err := nw.AddGate(fmt.Sprintf("gm%d", b), logic.Or, t1, t0)
+		if err != nil {
+			return nil, err
+		}
+		if err := nw.ReplaceFanin(ff, d, mux); err != nil {
+			return nil, err
+		}
+		muxes[t0] = true
+		muxes[t1] = true
+		muxes[mux] = true
+	}
+	return &Gated{Network: nw, Enable: en, GatingGates: nw.NumGates() - before, HoldMuxes: muxes}, nil
+}
+
+func invOf(nw *logic.Network, id logic.NodeID) (logic.NodeID, error) {
+	for _, c := range nw.Node(id).Fanout() {
+		cn := nw.Node(c)
+		if cn != nil && cn.Type == logic.Not {
+			return c, nil
+		}
+	}
+	return nw.AddGate(nw.Node(id).Name+"_n", logic.Not, id)
+}
+
+// ClockReport accounts for clock-tree power at the registers, the term
+// omitted by combinational estimators.
+type ClockReport struct {
+	Cycles         int
+	FFs            int
+	ActiveCycles   int // cycles in which the (gated) clock ticked
+	ClockPower     float64
+	LogicPower     float64
+	EnableFraction float64
+}
+
+// Total is clock plus logic power.
+func (c ClockReport) Total() float64 { return c.ClockPower + c.LogicPower }
+
+// MeasureClockPower simulates the network over random input vectors and
+// returns combined logic + clock power. If enable is a valid node, the
+// clock to all flip-flops ticks only on cycles where it evaluates true
+// (self-loop gating), one always-clocked gating cell is charged, and the
+// nodes in excluded (the functional hold muxes) are omitted from logic
+// power since real gating stops the clock instead of recirculating data.
+// clockCapPerFF is the clock-node capacitance per register.
+func MeasureClockPower(nw *logic.Network, enable logic.NodeID, excluded map[logic.NodeID]bool, r *rand.Rand, cycles int, p power.Params, clockCapPerFF float64) (ClockReport, error) {
+	return MeasureClockPowerBiased(nw, enable, excluded, r, cycles, p, clockCapPerFF, nil)
+}
+
+// MeasureClockPowerBiased is MeasureClockPower with per-input one
+// probabilities (nil = uniform 0.5), for workloads like a rarely-asserted
+// load line.
+func MeasureClockPowerBiased(nw *logic.Network, enable logic.NodeID, excluded map[logic.NodeID]bool, r *rand.Rand, cycles int, p power.Params, clockCapPerFF float64, piProb []float64) (ClockReport, error) {
+	st := logic.NewState(nw)
+	nIn := len(nw.PIs())
+	rep := ClockReport{Cycles: cycles, FFs: len(nw.FFs())}
+
+	// Track logic transitions per node for power (zero-delay).
+	prev := make(map[logic.NodeID]bool)
+	toggles := make(map[logic.NodeID]int)
+	in := make([]bool, nIn)
+	for c := 0; c < cycles; c++ {
+		for i := range in {
+			pr := 0.5
+			if piProb != nil {
+				pr = piProb[i]
+			}
+			in[i] = r.Float64() < pr
+		}
+		if _, err := st.Step(in); err != nil {
+			return rep, err
+		}
+		if enable == logic.InvalidNode || st.Value(enable) {
+			rep.ActiveCycles++
+		}
+		for _, id := range nw.Live() {
+			v := st.Value(id)
+			if c > 0 && v != prev[id] {
+				toggles[id]++
+			}
+			prev[id] = v
+		}
+	}
+	if cycles > 0 {
+		rep.EnableFraction = float64(rep.ActiveCycles) / float64(cycles)
+	}
+	act := func(id logic.NodeID) float64 {
+		if cycles <= 1 || excluded[id] {
+			return 0
+		}
+		return float64(toggles[id]) / float64(cycles-1)
+	}
+	logicRep := power.Evaluate(nw, p, nil, act)
+	rep.LogicPower = logicRep.Total()
+	// Clock power: the clock net switches at each register on active
+	// cycles; a gated design also pays one always-clocked gating cell for
+	// the register bank.
+	rep.ClockPower = clockCapPerFF * float64(rep.FFs) * p.Vdd * p.Vdd * p.Freq * rep.EnableFraction
+	if enable != logic.InvalidNode {
+		rep.ClockPower += 1.0 * p.Vdd * p.Vdd * p.Freq
+	}
+	return rep, nil
+}
+
+// HoldProbability measures, per flip-flop, the fraction of cycles in which
+// the register reloads its own value (D == Q) — the idleness statistic
+// that makes a register a gating candidate ([9]).
+func HoldProbability(nw *logic.Network, r *rand.Rand, cycles int) (map[logic.NodeID]float64, error) {
+	st := logic.NewState(nw)
+	hold := make(map[logic.NodeID]int)
+	in := make([]bool, len(nw.PIs()))
+	for c := 0; c < cycles; c++ {
+		for i := range in {
+			in[i] = r.Intn(2) == 1
+		}
+		if err := stepObservingHold(st, nw, in, hold); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[logic.NodeID]float64, len(nw.FFs()))
+	for _, ff := range nw.FFs() {
+		out[ff] = float64(hold[ff]) / float64(cycles)
+	}
+	return out, nil
+}
+
+func stepObservingHold(st *logic.State, nw *logic.Network, in []bool, hold map[logic.NodeID]int) error {
+	// Apply inputs and settle without clocking to compare D against Q.
+	for i, pi := range nw.PIs() {
+		st.SetValue(pi, in[i])
+	}
+	if err := st.Settle(); err != nil {
+		return err
+	}
+	for _, ff := range nw.FFs() {
+		d := nw.Node(ff).Fanin[0]
+		if st.Value(d) == st.Value(ff) {
+			hold[ff]++
+		}
+	}
+	_, err := st.Step(in)
+	return err
+}

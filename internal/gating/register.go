@@ -1,0 +1,85 @@
+package gating
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// RegisterBank models the survey's motivating example for gated clocks: a
+// register file or datapath register that is "typically not accessed in
+// each clock cycle" [9]. Both variants implement the same function — load
+// the data bus when the load input is high, hold otherwise:
+//
+//   - The ungated variant holds via recirculation multiplexers and a
+//     free-running clock (load-enable flip-flops): every cycle pays full
+//     clock power plus the mux logic.
+//   - The gated variant stops the register clock when load is low: the
+//     hold muxes still exist in the netlist (so the logic simulates
+//     correctly) but are excluded from power, and one gating cell is
+//     charged instead — see MeasureClockPower.
+type RegisterBank struct {
+	Network *logic.Network
+	// Load is the load-enable input (also the gated-clock activation
+	// function).
+	Load logic.NodeID
+	// HoldMuxes lists mux nodes to exclude when modelling clock gating.
+	HoldMuxes map[logic.NodeID]bool
+}
+
+// BuildRegisterBank constructs a width-bit register with a load input and
+// data inputs d0..d{width-1}; outputs are the register bits.
+func BuildRegisterBank(width int) (*RegisterBank, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("gating: register bank width %d", width)
+	}
+	nw := logic.New(fmt.Sprintf("regbank%d", width))
+	load, err := nw.AddInput("load")
+	if err != nil {
+		return nil, err
+	}
+	nload, err := nw.AddGate("nload", logic.Not, load)
+	if err != nil {
+		return nil, err
+	}
+	muxes := make(map[logic.NodeID]bool)
+	for b := 0; b < width; b++ {
+		d, err := nw.AddInput(fmt.Sprintf("d%d", b))
+		if err != nil {
+			return nil, err
+		}
+		ph, err := nw.AddConst(fmt.Sprintf("__ph%d", b), false)
+		if err != nil {
+			return nil, err
+		}
+		q, err := nw.AddDFF(fmt.Sprintf("q%d", b), ph, false)
+		if err != nil {
+			return nil, err
+		}
+		t1, err := nw.AddGate(fmt.Sprintf("m%d_a", b), logic.And, load, d)
+		if err != nil {
+			return nil, err
+		}
+		t0, err := nw.AddGate(fmt.Sprintf("m%d_b", b), logic.And, nload, q)
+		if err != nil {
+			return nil, err
+		}
+		mux, err := nw.AddGate(fmt.Sprintf("m%d", b), logic.Or, t1, t0)
+		if err != nil {
+			return nil, err
+		}
+		if err := nw.ReplaceFanin(q, ph, mux); err != nil {
+			return nil, err
+		}
+		if err := nw.DeleteNode(ph); err != nil {
+			return nil, err
+		}
+		if err := nw.MarkOutput(q); err != nil {
+			return nil, err
+		}
+		muxes[t0] = true
+		muxes[t1] = true
+		muxes[mux] = true
+	}
+	return &RegisterBank{Network: nw, Load: load, HoldMuxes: muxes}, nil
+}

@@ -1,0 +1,199 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	nw := New("dup")
+	a := nw.MustInput("a")
+	b := nw.MustInput("b")
+	g1 := nw.MustGate("g1", And, a, b)
+	g2 := nw.MustGate("g2", And, b, a) // same gate, permuted fanin
+	o := nw.MustGate("o", Or, g1, g2)
+	if err := nw.MarkOutput(o); err != nil {
+		t.Fatal(err)
+	}
+	golden := nw.Clone()
+	res, err := Strash(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged < 1 {
+		t.Errorf("expected a merge, got %+v", res)
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equivalent(golden, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("strash changed function")
+	}
+	// OR(g,g) should have folded to a wire; the network shrinks to one
+	// AND.
+	if nw.NumGates() > 1 {
+		t.Errorf("expected 1 gate after strash, got %d", nw.NumGates())
+	}
+}
+
+func TestStrashConstantFolding(t *testing.T) {
+	nw := New("k")
+	a := nw.MustInput("a")
+	b := nw.MustInput("b")
+	one, _ := nw.AddConst("one", true)
+	zero, _ := nw.AddConst("zero", false)
+	andZ := nw.MustGate("andZ", And, a, zero)   // -> 0
+	orO := nw.MustGate("orO", Or, b, one)       // -> 1
+	xorK := nw.MustGate("xorK", Xor, a, one)    // -> !a
+	nandK := nw.MustGate("nandK", Nand, a, one) // -> !a
+	xx := nw.MustGate("xx", Xor, a, a)          // -> 0
+	final := nw.MustGate("final", Or, andZ, orO, xorK, nandK, xx)
+	if err := nw.MarkOutput(final); err != nil {
+		t.Fatal(err)
+	}
+	golden := nw.Clone()
+	res, err := Strash(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folded == 0 {
+		t.Error("expected constant folds")
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equivalent(golden, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("strash changed function")
+	}
+	// final = 0 | 1 | !a | !a | 0 = 1: the whole cone folds to constant 1.
+	po := nw.POs()[0]
+	if nw.Node(po).Type != Const1 {
+		t.Errorf("PO should fold to constant 1, got %s", nw.Node(po).Type)
+	}
+}
+
+func TestStrashBufferForwarding(t *testing.T) {
+	nw := New("buf")
+	a := nw.MustInput("a")
+	b1 := nw.MustGate("b1", Buf, a)
+	b2 := nw.MustGate("b2", Buf, b1)
+	n1 := nw.MustGate("n1", Not, b2)
+	if err := nw.MarkOutput(n1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Strash(nw); err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumGates() != 1 {
+		t.Errorf("buffers should be forwarded away, %d gates remain", nw.NumGates())
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrashRandomNetworksPreserveFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	types := []GateType{And, Or, Nand, Nor, Xor, Xnor, Not, Buf}
+	for trial := 0; trial < 30; trial++ {
+		nw := New("rnd")
+		pool := []NodeID{}
+		for i := 0; i < 5; i++ {
+			pool = append(pool, nw.MustInput(string(rune('a'+i))))
+		}
+		c0, _ := nw.AddConst("c0", false)
+		c1, _ := nw.AddConst("c1", true)
+		pool = append(pool, c0, c1)
+		for g := 0; g < 25; g++ {
+			gt := types[r.Intn(len(types))]
+			k := 1
+			if gt != Not && gt != Buf {
+				k = 2 + r.Intn(2)
+			}
+			fan := make([]NodeID, k)
+			for i := range fan {
+				fan[i] = pool[r.Intn(len(pool))] // duplicates allowed
+			}
+			id, err := nw.AddGate("", gt, fan...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, id)
+		}
+		for i := 0; i < 3; i++ {
+			_ = nw.MarkOutput(pool[len(pool)-1-i])
+		}
+		golden := nw.Clone()
+		if _, err := Strash(nw); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eq, err := Equivalent(golden, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("trial %d: strash changed function", trial)
+		}
+		if nw.NumGates() > golden.NumGates() {
+			t.Fatalf("trial %d: strash grew the network", trial)
+		}
+	}
+}
+
+func TestStrashOnSequential(t *testing.T) {
+	// Strash must leave FF structure intact and handle FF-fed logic.
+	nw := New("seq")
+	x := nw.MustInput("x")
+	c0, _ := nw.AddConst("c0", false)
+	q, err := nw.AddDFF("q", c0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := nw.MustGate("d1", Xor, x, q)
+	d2 := nw.MustGate("d2", Xor, q, x) // duplicate of d1
+	both := nw.MustGate("both", And, d1, d2)
+	if err := nw.ReplaceFanin(q, c0, both); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.DeleteNode(c0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput(q); err != nil {
+		t.Fatal(err)
+	}
+	golden := nw.Clone()
+	res, err := Strash(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged == 0 {
+		t.Error("duplicate XOR should merge")
+	}
+	if len(nw.FFs()) != 1 {
+		t.Fatal("FF lost")
+	}
+	// Behavioural comparison.
+	s1, s2 := NewState(golden), NewState(nw)
+	for i := 0; i < 40; i++ {
+		in := []bool{i%3 == 0}
+		o1, err1 := s1.Step(in)
+		o2, err2 := s2.Step(in)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if o1[0] != o2[0] {
+			t.Fatalf("cycle %d diverged", i)
+		}
+	}
+}

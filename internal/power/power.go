@@ -1,0 +1,204 @@
+// Package power implements the survey's central quantity, Eqn. 1:
+//
+//	P = 1/2 C Vdd^2 f N  +  Qsc Vdd f N  +  Ileak Vdd
+//
+// for gate-level networks. It provides three activity sources — exact
+// probabilistic (BDD signal probabilities), approximate probabilistic
+// (independence-assumption propagation), and measured (event-driven
+// simulation via internal/sim) — over a simple capacitance model, and
+// produces per-node and aggregate power reports used by every optimization
+// experiment.
+//
+// Units: capacitance is measured in unit gate-input loads, voltage in
+// volts, frequency in cycles per second. Reported power is in C·Vdd²·f
+// units; only ratios between designs are meaningful, which is all the
+// survey's claims require.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Params holds the technology/environment parameters of Eqn. 1.
+type Params struct {
+	Vdd  float64 // supply voltage
+	Freq float64 // clock frequency
+
+	// QscFraction scales short-circuit charge per transition as a fraction
+	// of the switched charge; for well-designed gates with controlled edge
+	// rates this is small (the survey: switching power is >90% of total).
+	QscFraction float64
+
+	// LeakPerGate is the leakage current drawn by each gate, in units such
+	// that LeakPerGate*Vdd is power in the same units as switching power.
+	LeakPerGate float64
+}
+
+// DefaultParams returns 1995-era CMOS parameters: 5 V supply, unit
+// frequency, 4% short-circuit fraction and a small leakage term. With
+// these, switching activity power is a little over 90% of total on typical
+// circuits, matching the survey's claim.
+func DefaultParams() Params {
+	return Params{Vdd: 5.0, Freq: 1.0, QscFraction: 0.04, LeakPerGate: 0.002}
+}
+
+// CapModel assigns an output load capacitance to each node.
+type CapModel func(nw *logic.Network, n *logic.Node) float64
+
+// UnitLoadCap is the default capacitance model: every gate input presents
+// one unit of capacitance, every driven net adds one unit of wire and
+// drain parasitics, and primary outputs drive one unit of external load.
+func UnitLoadCap(nw *logic.Network, n *logic.Node) float64 {
+	c := 1.0 // self (drain + local wire)
+	c += float64(faninConnections(nw, n))
+	if nw.IsPO(n.ID) {
+		c += 1.0
+	}
+	return c
+}
+
+// faninConnections counts how many gate input pins node n drives.
+func faninConnections(nw *logic.Network, n *logic.Node) int {
+	total := 0
+	for _, c := range n.Fanout() {
+		cn := nw.Node(c)
+		if cn == nil {
+			continue
+		}
+		for _, f := range cn.Fanin {
+			if f == n.ID {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// BufferWeightedCap returns a capacitance model like UnitLoadCap except
+// that Buf nodes — the minimum-size delay elements inserted by path
+// balancing — present bufWeight units of capacitance instead of 1, both as
+// the buffer's own output load and as the input-pin load it presents to
+// its driver. The survey notes that balancing buffers "increase
+// capacitance which may offset the reduction in switching activity";
+// whether balancing wins depends on exactly this weight, so it is an
+// explicit ablation parameter (1.0 reproduces UnitLoadCap).
+func BufferWeightedCap(bufWeight float64) CapModel {
+	return func(nw *logic.Network, n *logic.Node) float64 {
+		c := 1.0
+		if n.Type == logic.Buf {
+			c = bufWeight
+		}
+		for _, cid := range n.Fanout() {
+			cn := nw.Node(cid)
+			if cn == nil {
+				continue
+			}
+			pin := 1.0
+			if cn.Type == logic.Buf {
+				pin = bufWeight
+			}
+			for _, f := range cn.Fanin {
+				if f == n.ID {
+					c += pin
+				}
+			}
+		}
+		if nw.IsPO(n.ID) {
+			c += 1.0
+		}
+		return c
+	}
+}
+
+// WeightedGateCap is a capacitance model that additionally charges each
+// gate for its own complexity: a k-input gate's output carries k units of
+// internal (source/drain) parasitics. Used by the sizing and mapping
+// passes, where gate size matters.
+func WeightedGateCap(nw *logic.Network, n *logic.Node) float64 {
+	c := UnitLoadCap(nw, n)
+	if n.Type.IsGate() {
+		c += float64(len(n.Fanin)) * 0.5
+	}
+	return c
+}
+
+// NodePower is the power breakdown at one node.
+type NodePower struct {
+	Node      logic.NodeID
+	Name      string
+	Cap       float64 // load capacitance
+	Activity  float64 // transitions per cycle (N in Eqn. 1)
+	Switching float64
+	ShortCkt  float64
+	Leakage   float64
+}
+
+// Total returns the node's total power.
+func (np NodePower) Total() float64 { return np.Switching + np.ShortCkt + np.Leakage }
+
+// Report aggregates Eqn. 1 over a network.
+type Report struct {
+	Params    Params
+	Switching float64
+	ShortCkt  float64
+	Leakage   float64
+	Nodes     []NodePower
+}
+
+// Total returns total power.
+func (r Report) Total() float64 { return r.Switching + r.ShortCkt + r.Leakage }
+
+// SwitchingShare returns the fraction of total power due to switching
+// activity (the survey: >90% for well-designed gates).
+func (r Report) SwitchingShare() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return r.Switching / t
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("P=%.4f (switching %.4f [%.1f%%], short-circuit %.4f, leakage %.4f)",
+		r.Total(), r.Switching, 100*r.SwitchingShare(), r.ShortCkt, r.Leakage)
+}
+
+// TopConsumers returns the k highest-power nodes, descending.
+func (r Report) TopConsumers(k int) []NodePower {
+	nodes := append([]NodePower(nil), r.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Total() > nodes[j].Total() })
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	return nodes[:k]
+}
+
+// Evaluate applies Eqn. 1 given a per-node activity function (transitions
+// per cycle on the node's output net). Source nodes (PIs) are charged for
+// the capacitance they drive too: their switching is externally supplied
+// but dissipates in this circuit's wires.
+func Evaluate(nw *logic.Network, p Params, cm CapModel, activity func(logic.NodeID) float64) Report {
+	if cm == nil {
+		cm = UnitLoadCap
+	}
+	rep := Report{Params: p}
+	for _, id := range nw.Live() {
+		n := nw.Node(id)
+		c := cm(nw, n)
+		a := activity(id)
+		np := NodePower{Node: id, Name: n.Name, Cap: c, Activity: a}
+		np.Switching = 0.5 * c * p.Vdd * p.Vdd * p.Freq * a
+		np.ShortCkt = p.QscFraction * 0.5 * c * p.Vdd * p.Vdd * p.Freq * a
+		if n.Type.IsGate() {
+			np.Leakage = p.LeakPerGate * p.Vdd
+		}
+		rep.Switching += np.Switching
+		rep.ShortCkt += np.ShortCkt
+		rep.Leakage += np.Leakage
+		rep.Nodes = append(rep.Nodes, np)
+	}
+	return rep
+}

@@ -1,0 +1,234 @@
+package power
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Probabilities holds per-node static signal probabilities: the probability
+// that the node's output is 1 in a randomly chosen cycle.
+type Probabilities map[logic.NodeID]float64
+
+// Activity converts signal probabilities to zero-delay switching activity
+// under the temporal-independence assumption: a net with probability p
+// toggles with probability 2·p·(1−p) per cycle.
+func (ps Probabilities) Activity(id logic.NodeID) float64 {
+	p := ps[id]
+	return 2 * p * (1 - p)
+}
+
+// ExactProbabilities computes exact signal probabilities for every node
+// via global BDDs. inputProb maps circuit source nodes (PIs and FF
+// outputs) to their 1-probability; missing entries default to 0.5.
+// Reconvergent fanout is handled exactly — this is the reference against
+// which the propagation approximation is measured.
+func ExactProbabilities(nw *logic.Network, inputProb Probabilities) (Probabilities, error) {
+	nb, err := bdd.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	pv := make([]float64, nb.M.NumVars())
+	for i, src := range nb.Vars {
+		p, ok := inputProb[src]
+		if !ok {
+			p = 0.5
+		}
+		pv[i] = p
+	}
+	out := make(Probabilities, len(nb.Fn))
+	for id, f := range nb.Fn {
+		out[id] = nb.M.Probability(f, pv)
+	}
+	return out, nil
+}
+
+// PropagatedProbabilities computes approximate signal probabilities by
+// forward propagation assuming spatial independence of gate inputs — fast
+// but inexact under reconvergent fanout. XOR-class gates are computed by
+// enumerating input combinations (fanin is small in mapped netlists).
+func PropagatedProbabilities(nw *logic.Network, inputProb Probabilities) (Probabilities, error) {
+	out := make(Probabilities)
+	for _, src := range append(append([]logic.NodeID(nil), nw.PIs()...), nw.FFs()...) {
+		p, ok := inputProb[src]
+		if !ok {
+			p = 0.5
+		}
+		out[src] = p
+	}
+	order, err := nw.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		n := nw.Node(id)
+		switch n.Type {
+		case logic.Const0:
+			out[id] = 0
+		case logic.Const1:
+			out[id] = 1
+		default:
+			ps := make([]float64, len(n.Fanin))
+			for i, f := range n.Fanin {
+				ps[i] = out[f]
+			}
+			p, err := gateProb(n.Type, ps)
+			if err != nil {
+				return nil, err
+			}
+			out[id] = p
+		}
+	}
+	return out, nil
+}
+
+func gateProb(t logic.GateType, ps []float64) (float64, error) {
+	switch t {
+	case logic.Buf:
+		return ps[0], nil
+	case logic.Not:
+		return 1 - ps[0], nil
+	case logic.And:
+		p := 1.0
+		for _, q := range ps {
+			p *= q
+		}
+		return p, nil
+	case logic.Nand:
+		p := 1.0
+		for _, q := range ps {
+			p *= q
+		}
+		return 1 - p, nil
+	case logic.Or:
+		p := 1.0
+		for _, q := range ps {
+			p *= 1 - q
+		}
+		return 1 - p, nil
+	case logic.Nor:
+		p := 1.0
+		for _, q := range ps {
+			p *= 1 - q
+		}
+		return p, nil
+	case logic.Xor, logic.Xnor:
+		// P(odd number of ones); independent inputs give the closed form
+		// (1 - prod(1-2p_i)) / 2.
+		prod := 1.0
+		for _, q := range ps {
+			prod *= 1 - 2*q
+		}
+		pOdd := (1 - prod) / 2
+		if t == logic.Xor {
+			return pOdd, nil
+		}
+		return 1 - pOdd, nil
+	}
+	return 0, fmt.Errorf("power: no probability rule for gate type %s", t)
+}
+
+// SequentialProbabilities estimates flip-flop output probabilities by
+// warm-up simulation under random primary inputs with the given bias, then
+// returns a Probabilities map covering the PIs (set to piProb) and FFs
+// (measured). This is the simulation-based abstraction of Monteiro and
+// Devadas [28]: the combinational estimators can then treat FF outputs as
+// independent sources.
+func SequentialProbabilities(nw *logic.Network, r *rand.Rand, cycles int, piProb float64) (Probabilities, error) {
+	st := logic.NewState(nw)
+	ones := make(map[logic.NodeID]int)
+	in := make([]bool, len(nw.PIs()))
+	for c := 0; c < cycles; c++ {
+		for i := range in {
+			in[i] = r.Float64() < piProb
+		}
+		if _, err := st.Step(in); err != nil {
+			return nil, err
+		}
+		for _, f := range nw.FFs() {
+			if st.Value(f) {
+				ones[f]++
+			}
+		}
+	}
+	out := make(Probabilities)
+	for _, pi := range nw.PIs() {
+		out[pi] = piProb
+	}
+	for _, f := range nw.FFs() {
+		if cycles > 0 {
+			out[f] = float64(ones[f]) / float64(cycles)
+		} else {
+			out[f] = 0.5
+		}
+	}
+	return out, nil
+}
+
+// EstimateExact produces an Eqn. 1 report from exact (BDD) zero-delay
+// activity. Sequential networks get FF probabilities from warm-up
+// simulation first when seqWarmup > 0.
+func EstimateExact(nw *logic.Network, p Params, cm CapModel, inputProb Probabilities) (Report, error) {
+	ps, err := ExactProbabilities(nw, inputProb)
+	if err != nil {
+		return Report{}, err
+	}
+	return Evaluate(nw, p, cm, ps.Activity), nil
+}
+
+// EstimatePropagated produces an Eqn. 1 report from propagated
+// (independence-assumption) zero-delay activity.
+func EstimatePropagated(nw *logic.Network, p Params, cm CapModel, inputProb Probabilities) (Report, error) {
+	ps, err := PropagatedProbabilities(nw, inputProb)
+	if err != nil {
+		return Report{}, err
+	}
+	return Evaluate(nw, p, cm, ps.Activity), nil
+}
+
+// EstimateSimulated produces an Eqn. 1 report from measured event-driven
+// activity over the supplied vectors, capturing glitch power that the
+// zero-delay estimators miss. It returns the report and the simulation
+// totals.
+func EstimateSimulated(nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool) (Report, sim.Totals, error) {
+	s, err := sim.New(nw, dm)
+	if err != nil {
+		return Report{}, sim.Totals{}, err
+	}
+	tot, err := s.Run(vectors)
+	if err != nil {
+		return Report{}, sim.Totals{}, err
+	}
+	// Primary-input activity is measured from the vector stream itself.
+	piAct := make(map[logic.NodeID]float64)
+	if len(vectors) > 0 {
+		for i, pi := range nw.PIs() {
+			tr := 0
+			prev := false
+			for c, v := range vectors {
+				if c == 0 {
+					prev = v[i]
+					if prev { // initial settle from all-zero reset
+						tr++
+					}
+					continue
+				}
+				if v[i] != prev {
+					tr++
+					prev = v[i]
+				}
+			}
+			piAct[pi] = float64(tr) / float64(len(vectors))
+		}
+	}
+	rep := Evaluate(nw, p, cm, func(id logic.NodeID) float64 {
+		if a, ok := piAct[id]; ok {
+			return a
+		}
+		return s.Activity(id)
+	})
+	return rep, tot, nil
+}

@@ -1,0 +1,194 @@
+package precomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/logic"
+	"repro/internal/power"
+)
+
+func TestBuildComparatorValidation(t *testing.T) {
+	if _, err := BuildComparator(0, 0); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := BuildComparator(4, 5); err == nil {
+		t.Error("inspecting more bits than width should fail")
+	}
+	if _, err := BuildComparator(4, -1); err == nil {
+		t.Error("negative inspection should fail")
+	}
+}
+
+func TestComparatorCorrectForAllJ(t *testing.T) {
+	// The precomputed circuit must produce the exact same output stream as
+	// the unoptimized registered comparator, for every inspection depth.
+	const n = 6
+	p := power.DefaultParams()
+	for j := 0; j <= n; j++ {
+		pc, err := BuildComparator(n, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.Network.Check(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := pc.Measure(rand.New(rand.NewSource(7)), 3000, p, 2.0, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OutputMismatch != 0 {
+			t.Errorf("j=%d: %d output mismatches", j, rep.OutputMismatch)
+		}
+	}
+}
+
+func TestLoadFractionMatchesTheory(t *testing.T) {
+	// P(LE=1) = 2^-j under uniform inputs (Figure 1: reduction is a
+	// function of the probability the XNOR evaluates to 0, which is 1/2
+	// per inspected pair).
+	const n = 8
+	p := power.DefaultParams()
+	for _, j := range []int{1, 2, 3} {
+		pc, err := BuildComparator(n, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := pc.Measure(rand.New(rand.NewSource(11)), 8000, p, 2.0, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(0.5, float64(j))
+		if math.Abs(rep.LoadFraction-want) > 0.03 {
+			t.Errorf("j=%d: load fraction %v, want ~%v", j, rep.LoadFraction, want)
+		}
+	}
+	// j=0 baseline: always loads.
+	pc, _ := BuildComparator(n, 0)
+	rep, err := pc.Measure(rand.New(rand.NewSource(11)), 1000, p, 2.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoadFraction != 1.0 {
+		t.Errorf("baseline load fraction %v, want 1", rep.LoadFraction)
+	}
+}
+
+func TestPrecomputationSavesPower(t *testing.T) {
+	// E13: power drops versus the j=0 baseline, with the largest marginal
+	// gain at j=1 (the Figure 1 configuration).
+	const n = 8
+	p := power.DefaultParams()
+	totals := make([]float64, 4)
+	for j := 0; j <= 3; j++ {
+		pc, err := BuildComparator(n, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := pc.Measure(rand.New(rand.NewSource(3)), 6000, p, 2.0, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[j] = rep.Total()
+	}
+	if totals[1] >= totals[0] {
+		t.Errorf("j=1 power %v should beat baseline %v", totals[1], totals[0])
+	}
+	// Substantial saving at j=1: roughly half the non-inspected datapath
+	// switching disappears.
+	saving1 := 1 - totals[1]/totals[0]
+	if saving1 < 0.15 {
+		t.Errorf("j=1 saving %.3f too small", saving1)
+	}
+	// Diminishing returns: marginal saving shrinks with j.
+	d1 := totals[0] - totals[1]
+	d2 := totals[1] - totals[2]
+	d3 := totals[2] - totals[3]
+	if d2 > d1 || d3 > d2 {
+		t.Errorf("marginal savings should diminish: %v %v %v", d1, d2, d3)
+	}
+}
+
+func TestSelectInputsComparator(t *testing.T) {
+	// On the combinational comparator, the best 2-input precomputation
+	// subset is the MSB pair {c_{n-1}, d_{n-1}}, with determination
+	// probability 1/2.
+	nw, err := circuits.Comparator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, prob, err := SelectInputs(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prob-0.5) > 1e-9 {
+		t.Errorf("determination probability %v, want 0.5", prob)
+	}
+	names := map[string]bool{}
+	for _, id := range subset {
+		names[nw.Node(id).Name] = true
+	}
+	if !names["c3"] || !names["d3"] {
+		t.Errorf("selected %v, want the MSB pair c3,d3", names)
+	}
+}
+
+func TestSelectInputsAndGate(t *testing.T) {
+	// f = a AND b AND c AND d: any single input determines f with
+	// probability 1/2 (input=0 forces f=0).
+	nw := logic.New("and4")
+	var ins []logic.NodeID
+	for _, nm := range []string{"a", "b", "c", "d"} {
+		ins = append(ins, nw.MustInput(nm))
+	}
+	g := nw.MustGate("g", logic.And, ins...)
+	if err := nw.MarkOutput(g); err != nil {
+		t.Fatal(err)
+	}
+	_, prob, err := SelectInputs(nw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prob-0.5) > 1e-9 {
+		t.Errorf("P(determined by one input) = %v, want 0.5", prob)
+	}
+}
+
+func TestSelectInputsValidation(t *testing.T) {
+	nw, _ := circuits.Comparator(3)
+	if _, _, err := SelectInputs(nw, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := SelectInputs(nw, 6); err == nil {
+		t.Error("k=all inputs should fail")
+	}
+	two, _ := circuits.RippleAdder(2)
+	if _, _, err := SelectInputs(two, 1); err == nil {
+		t.Error("multi-output network should fail")
+	}
+}
+
+func TestBiasedInputsChangeLoadFraction(t *testing.T) {
+	// With strongly biased inputs (mostly ones), MSB pairs are usually
+	// equal, so LE is usually asserted and precomputation saves little —
+	// the signal-statistics dependence the survey notes.
+	const n = 8
+	p := power.DefaultParams()
+	pc, err := BuildComparator(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pc.Measure(rand.New(rand.NewSource(5)), 6000, p, 2.0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(c7 == d7) = 0.9^2 + 0.1^2 = 0.82.
+	if math.Abs(rep.LoadFraction-0.82) > 0.03 {
+		t.Errorf("biased load fraction %v, want ~0.82", rep.LoadFraction)
+	}
+	if rep.OutputMismatch != 0 {
+		t.Error("biased inputs must not break correctness")
+	}
+}

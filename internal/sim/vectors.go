@@ -1,0 +1,96 @@
+package sim
+
+import "math/rand"
+
+// RandomVectors generates n input vectors of the given width where each bit
+// is independently 1 with probability p.
+func RandomVectors(r *rand.Rand, n, width int, p float64) [][]bool {
+	out := make([][]bool, n)
+	for i := range out {
+		v := make([]bool, width)
+		for j := range v {
+			v[j] = r.Float64() < p
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// WalkVectors generates n vectors of the given width that encode a bounded
+// random walk: successive values differ by a small signed step. This models
+// correlated datapath traffic (DSP samples, loop counters) where
+// neighbouring words share most high-order bits — the regime in which
+// bus-invert and Gray coding pay off.
+func WalkVectors(r *rand.Rand, n, width, maxStep int) [][]bool {
+	out := make([][]bool, n)
+	limit := 1 << width
+	val := r.Intn(limit)
+	for i := range out {
+		step := r.Intn(2*maxStep+1) - maxStep
+		val += step
+		if val < 0 {
+			val = 0
+		}
+		if val >= limit {
+			val = limit - 1
+		}
+		out[i] = uintToBits(uint(val), width)
+	}
+	return out
+}
+
+// CounterVectors generates n vectors counting up from start, wrapping at
+// 2^width. Sequential addresses on an address bus follow this pattern.
+func CounterVectors(start, n, width int) [][]bool {
+	out := make([][]bool, n)
+	mask := 1<<width - 1
+	for i := range out {
+		out[i] = uintToBits(uint((start+i)&mask), width)
+	}
+	return out
+}
+
+// BurstyVectors generates vectors that alternate between long idle runs of
+// a fixed resting vector and short active bursts of random data. The idle
+// fraction is the probability of being in an idle cycle. This is the
+// workload under which clock gating and precomputation show their value.
+func BurstyVectors(r *rand.Rand, n, width int, idleFraction float64) [][]bool {
+	out := make([][]bool, n)
+	rest := make([]bool, width)
+	for i := range out {
+		if r.Float64() < idleFraction {
+			out[i] = rest
+		} else {
+			v := make([]bool, width)
+			for j := range v {
+				v[j] = r.Intn(2) == 1
+			}
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// uintToBits converts v to a little-endian bit slice of the given width.
+func uintToBits(v uint, width int) []bool {
+	out := make([]bool, width)
+	for j := 0; j < width; j++ {
+		out[j] = v&(1<<j) != 0
+	}
+	return out
+}
+
+// BitsToUint converts a little-endian bit slice back to an integer.
+func BitsToUint(bits []bool) uint {
+	var v uint
+	for j, b := range bits {
+		if b {
+			v |= 1 << j
+		}
+	}
+	return v
+}
+
+// UintToBits is the exported form of the little-endian conversion used by
+// the vector generators.
+func UintToBits(v uint, width int) []bool { return uintToBits(v, width) }

@@ -1,0 +1,346 @@
+package sop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Product is a product term of an algebraic expression: a sorted set of
+// literal IDs. The algebraic model treats x and !x as unrelated literals,
+// as in MIS [5].
+type Product []int
+
+func (p Product) clone() Product { return append(Product(nil), p...) }
+
+func (p Product) contains(l int) bool {
+	for _, x := range p {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// containsAll reports whether p contains every literal of q.
+func (p Product) containsAll(q Product) bool {
+	i := 0
+	for _, l := range q {
+		for i < len(p) && p[i] < l {
+			i++
+		}
+		if i >= len(p) || p[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// minus returns p with the literals of q removed (q must be a subset).
+func (p Product) minus(q Product) Product {
+	out := make(Product, 0, len(p)-len(q))
+	i := 0
+	for _, l := range p {
+		if i < len(q) && q[i] == l {
+			i++
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func (p Product) key() string {
+	parts := make([]string, len(p))
+	for i, l := range p {
+		parts[i] = fmt.Sprint(l)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Expr is an algebraic sum-of-products over abstract literals.
+type Expr struct {
+	Products []Product
+}
+
+// NewExpr builds an expression from products given as literal slices; each
+// product is sorted and deduplicated.
+func NewExpr(products ...[]int) *Expr {
+	e := &Expr{}
+	for _, p := range products {
+		pp := append(Product(nil), p...)
+		sort.Ints(pp)
+		// Dedup literals inside a product (x·x = x).
+		out := pp[:0]
+		for i, l := range pp {
+			if i == 0 || l != pp[i-1] {
+				out = append(out, l)
+			}
+		}
+		e.Products = append(e.Products, out.clone())
+	}
+	return e.dedup()
+}
+
+func (e *Expr) dedup() *Expr {
+	seen := make(map[string]bool)
+	out := e.Products[:0]
+	for _, p := range e.Products {
+		k := p.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	e.Products = out
+	return e
+}
+
+// Clone returns a deep copy.
+func (e *Expr) Clone() *Expr {
+	out := &Expr{}
+	for _, p := range e.Products {
+		out.Products = append(out.Products, p.clone())
+	}
+	return out
+}
+
+// NumLiterals counts total literal occurrences.
+func (e *Expr) NumLiterals() int {
+	n := 0
+	for _, p := range e.Products {
+		n += len(p)
+	}
+	return n
+}
+
+// WeightedLiterals sums w(l) over all literal occurrences — the cost
+// function of activity-weighted extraction [35]. A nil w counts literals.
+func (e *Expr) WeightedLiterals(w func(int) float64) float64 {
+	if w == nil {
+		return float64(e.NumLiterals())
+	}
+	s := 0.0
+	for _, p := range e.Products {
+		for _, l := range p {
+			s += w(l)
+		}
+	}
+	return s
+}
+
+// Support returns the sorted set of literals used.
+func (e *Expr) Support() []int {
+	set := make(map[int]bool)
+	for _, p := range e.Products {
+		for _, l := range p {
+			set[l] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the expression with literals as L<n>.
+func (e *Expr) String() string {
+	if len(e.Products) == 0 {
+		return "0"
+	}
+	terms := make([]string, len(e.Products))
+	for i, p := range e.Products {
+		if len(p) == 0 {
+			terms[i] = "1"
+			continue
+		}
+		lits := make([]string, len(p))
+		for j, l := range p {
+			lits[j] = fmt.Sprintf("L%d", l)
+		}
+		terms[i] = strings.Join(lits, "·")
+	}
+	return strings.Join(terms, " + ")
+}
+
+// DivideByProduct performs weak division of e by a single product (cube):
+// quotient {p − d : p ⊇ d} and remainder {p : p ⊉ d}.
+func (e *Expr) DivideByProduct(d Product) (quot, rem *Expr) {
+	quot, rem = &Expr{}, &Expr{}
+	for _, p := range e.Products {
+		if p.containsAll(d) {
+			quot.Products = append(quot.Products, p.minus(d))
+		} else {
+			rem.Products = append(rem.Products, p.clone())
+		}
+	}
+	return quot, rem
+}
+
+// Divide performs weak (algebraic) division of e by divisor g, returning
+// quotient and remainder such that e = g·q + r with q maximal.
+func (e *Expr) Divide(g *Expr) (quot, rem *Expr) {
+	if len(g.Products) == 0 {
+		return &Expr{}, e.Clone()
+	}
+	var q *Expr
+	for i, d := range g.Products {
+		qi, _ := e.DivideByProduct(d)
+		if i == 0 {
+			q = qi
+		} else {
+			q = q.intersect(qi)
+		}
+		if len(q.Products) == 0 {
+			return &Expr{}, e.Clone()
+		}
+	}
+	// rem = e − g·q.
+	prod := multiply(g, q)
+	used := make(map[string]bool)
+	for _, p := range prod.Products {
+		used[p.key()] = true
+	}
+	rem = &Expr{}
+	for _, p := range e.Products {
+		if !used[p.key()] {
+			rem.Products = append(rem.Products, p.clone())
+		}
+	}
+	return q, rem
+}
+
+func (e *Expr) intersect(o *Expr) *Expr {
+	keys := make(map[string]bool)
+	for _, p := range o.Products {
+		keys[p.key()] = true
+	}
+	out := &Expr{}
+	for _, p := range e.Products {
+		if keys[p.key()] {
+			out.Products = append(out.Products, p.clone())
+		}
+	}
+	return out
+}
+
+func multiply(a, b *Expr) *Expr {
+	out := &Expr{}
+	for _, p := range a.Products {
+		for _, q := range b.Products {
+			m := append(p.clone(), q...)
+			sort.Ints(m)
+			dd := m[:0]
+			for i, l := range m {
+				if i == 0 || l != m[i-1] {
+					dd = append(dd, l)
+				}
+			}
+			out.Products = append(out.Products, dd.clone())
+		}
+	}
+	return out.dedup()
+}
+
+// largestCommonCube returns the product of literals common to every
+// product of e.
+func (e *Expr) largestCommonCube() Product {
+	if len(e.Products) == 0 {
+		return nil
+	}
+	counts := make(map[int]int)
+	for _, p := range e.Products {
+		for _, l := range p {
+			counts[l]++
+		}
+	}
+	var cc Product
+	for l, c := range counts {
+		if c == len(e.Products) {
+			cc = append(cc, l)
+		}
+	}
+	sort.Ints(cc)
+	return cc
+}
+
+// MakeCubeFree divides out the largest common cube.
+func (e *Expr) MakeCubeFree() *Expr {
+	cc := e.largestCommonCube()
+	if len(cc) == 0 {
+		return e.Clone()
+	}
+	q, _ := e.DivideByProduct(cc)
+	return q
+}
+
+// IsCubeFree reports whether no single literal divides every product.
+func (e *Expr) IsCubeFree() bool { return len(e.largestCommonCube()) == 0 }
+
+// Kernel pairs a kernel expression with one of its co-kernels.
+type Kernel struct {
+	K        *Expr
+	CoKernel Product
+}
+
+// Kernels computes all kernels of the expression (cube-free quotients of
+// division by cubes), including the expression itself if cube-free, using
+// the standard recursive enumeration over literals [5].
+func (e *Expr) Kernels() []Kernel {
+	seen := make(map[string]bool)
+	var out []Kernel
+	add := func(k *Expr, co Product) {
+		if len(k.Products) < 2 {
+			return
+		}
+		key := exprKey(k)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, Kernel{K: k, CoKernel: co})
+		}
+	}
+	base := e.MakeCubeFree()
+	add(base, e.largestCommonCube())
+	var rec func(f *Expr, co Product, minLit int)
+	rec = func(f *Expr, co Product, minLit int) {
+		sup := f.Support()
+		for _, l := range sup {
+			if l < minLit {
+				continue
+			}
+			count := 0
+			for _, p := range f.Products {
+				if p.contains(l) {
+					count++
+				}
+			}
+			if count < 2 {
+				continue
+			}
+			q, _ := f.DivideByProduct(Product{l})
+			cc := q.largestCommonCube()
+			kern := q
+			if len(cc) > 0 {
+				kern, _ = q.DivideByProduct(cc)
+			}
+			newCo := append(co.clone(), l)
+			newCo = append(newCo, cc...)
+			sort.Ints(newCo)
+			add(kern, newCo)
+			rec(kern, newCo, l+1)
+		}
+	}
+	rec(base, e.largestCommonCube(), 0)
+	return out
+}
+
+func exprKey(e *Expr) string {
+	keys := make([]string, len(e.Products))
+	for i, p := range e.Products {
+		keys[i] = p.key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}

@@ -1,0 +1,95 @@
+package sop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// coverFromBytes derives a deterministic small cover from fuzz bytes.
+func coverFromBytes(data []byte, nvars int) *Cover {
+	cv := NewCover(nvars)
+	for i := 0; i+nvars <= len(data) && len(cv.Cubes) < 6; i += nvars {
+		c := make(Cube, nvars)
+		for j := 0; j < nvars; j++ {
+			c[j] = Lit(data[i+j] % 3)
+		}
+		cv.Cubes = append(cv.Cubes, c)
+	}
+	return cv
+}
+
+// Property: Minimize preserves the function exactly (no don't-cares).
+func TestMinimizePreservesFunctionProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		cv := coverFromBytes(data, 4)
+		min, err := Minimize(cv, MinimizeOptions{})
+		if err != nil {
+			return false
+		}
+		return min.Equivalent(cv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: complement is an involution up to equivalence, and
+// f & complement(f) is empty while f | complement(f) is a tautology.
+func TestComplementLawsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		cv := coverFromBytes(data, 4)
+		comp := cv.Complement()
+		inter := cv.Intersect(comp)
+		if !inter.IsEmpty() && inter.Tautology() {
+			return false
+		}
+		// Pointwise checks on all 16 minterms.
+		m := make([]bool, 4)
+		for idx := 0; idx < 16; idx++ {
+			for i := range m {
+				m[i] = idx&(1<<i) != 0
+			}
+			if cv.Eval(m) == comp.Eval(m) {
+				return false
+			}
+		}
+		return comp.Complement().Equivalent(cv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weak division identity e = q*d + r as sets of products.
+func TestDivisionIdentityProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 4 {
+			return true
+		}
+		var prods [][]int
+		for i := 0; i+2 < len(data) && len(prods) < 5; i += 3 {
+			p := []int{int(data[i] % 6), int(data[i+1] % 6), int(data[i+2] % 6)}
+			prods = append(prods, p)
+		}
+		e := NewExpr(prods...)
+		d := NewExpr([]int{int(data[0] % 6)})
+		q, r := e.Divide(d)
+		// Every product of e must appear either in d*q or in r.
+		covered := map[string]bool{}
+		for _, p := range multiply(d, q).Products {
+			covered[p.key()] = true
+		}
+		for _, p := range r.Products {
+			covered[p.key()] = true
+		}
+		for _, p := range e.Products {
+			if !covered[p.key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package stg
+
+import "strings"
+
+// Corpus returns a set of small benchmark FSMs in the spirit of the MCNC
+// sequential suite, keyed by name. They cover the regimes the encoding and
+// gated-clock experiments need: counters (heavy adjacent transitions),
+// controllers with hub states, and machines dominated by self-loops.
+func Corpus() map[string]*STG {
+	out := make(map[string]*STG)
+	for name, text := range corpusKISS {
+		g, err := ReadKISS(strings.NewReader(text))
+		if err != nil {
+			panic("stg: corpus machine " + name + ": " + err.Error())
+		}
+		g.Name = name
+		out[name] = g
+	}
+	return out
+}
+
+var corpusKISS = map[string]string{
+	// Modulo-8 up counter with enable: adjacent-state traffic.
+	"count8": `
+.i 1
+.o 1
+.s 8
+.p 16
+.r s0
+0 s0 s0 0
+1 s0 s1 0
+0 s1 s1 0
+1 s1 s2 0
+0 s2 s2 0
+1 s2 s3 0
+0 s3 s3 0
+1 s3 s4 0
+0 s4 s4 0
+1 s4 s5 0
+0 s5 s5 0
+1 s5 s6 0
+0 s6 s6 0
+1 s6 s7 0
+0 s7 s7 0
+1 s7 s0 1
+.e
+`,
+	// Traffic-light controller: a short cycle with a hub.
+	"traffic": `
+.i 2
+.o 3
+.s 4
+.p 8
+.r green
+0- green green 100
+1- green yellow 100
+-- yellow red 010
+0- red red 001
+10 red green 001
+11 red redy 001
+-- redy green 010
+.e
+`,
+	// Bus arbiter-like controller: idle hub with bursts, mostly self-loops.
+	"arbiter": `
+.i 2
+.o 2
+.s 5
+.p 12
+.r idle
+00 idle idle 00
+01 idle g1 00
+10 idle g2 00
+11 idle g1 00
+0- g1 idle 10
+1- g1 h1 10
+-- h1 idle 10
+-0 g2 idle 01
+-1 g2 h2 01
+-- h2 idle 01
+.e
+`,
+	// Sequence detector for 1101 (Mealy): chain with restarts.
+	"det1101": `
+.i 1
+.o 1
+.s 4
+.p 8
+.r a
+0 a a 0
+1 a b 0
+0 b a 0
+1 b c 0
+0 c d 0
+1 c c 0
+0 d a 0
+1 d b 1
+.e
+`,
+	// Heavily idle device controller: 90% self-loop in idle, the
+	// gated-clock showcase.
+	"idler": `
+.i 3
+.o 1
+.s 3
+.p 7
+.r off
+0-- off off 0
+1-- off run 0
+-0- run run 1
+-10 run off 0
+-11 run wait 1
+0-- wait wait 0
+1-- wait run 1
+.e
+`,
+}

@@ -1,0 +1,108 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// FromNetwork extracts the state transition graph of a gate-level
+// sequential circuit by forward reachability from the reset state — the
+// first step of re-encoding logic-level sequential circuits for low power
+// (Hachtel et al. [18]): recover the symbolic machine, then re-encode it.
+// The circuit must have at most maxFFs flip-flops and maxInputs primary
+// inputs (the traversal enumerates both spaces). State names are
+// "s<code>" with the code read LSB-first from the flip-flop list.
+func FromNetwork(nw *logic.Network, maxFFs, maxInputs int) (*STG, error) {
+	nFF := len(nw.FFs())
+	nIn := len(nw.PIs())
+	if nFF == 0 {
+		return nil, fmt.Errorf("stg: network %q has no flip-flops", nw.Name)
+	}
+	if maxFFs <= 0 {
+		maxFFs = 12
+	}
+	if maxInputs <= 0 {
+		maxInputs = 10
+	}
+	if nFF > maxFFs {
+		return nil, fmt.Errorf("stg: %d flip-flops exceeds limit %d", nFF, maxFFs)
+	}
+	if nIn > maxInputs {
+		return nil, fmt.Errorf("stg: %d inputs exceeds limit %d", nIn, maxInputs)
+	}
+
+	g := New(nw.Name+"_stg", nIn, len(nw.POs()))
+	st := logic.NewState(nw)
+
+	var resetCode uint
+	for b, ff := range nw.FFs() {
+		if nw.Node(ff).InitVal {
+			resetCode |= 1 << uint(b)
+		}
+	}
+	name := func(code uint) string { return fmt.Sprintf("s%d", code) }
+	g.SetReset(name(resetCode))
+
+	setState := func(code uint) {
+		st.Reset()
+		for b, ff := range nw.FFs() {
+			st.SetFF(ff, code&(1<<uint(b)) != 0)
+		}
+	}
+	readState := func() uint {
+		var code uint
+		for b, ff := range nw.FFs() {
+			if st.Value(ff) {
+				code |= 1 << uint(b)
+			}
+		}
+		return code
+	}
+
+	visited := map[uint]bool{}
+	queue := []uint{resetCode}
+	in := make([]bool, nIn)
+	for len(queue) > 0 {
+		code := queue[0]
+		queue = queue[1:]
+		if visited[code] {
+			continue
+		}
+		visited[code] = true
+		for m := 0; m < 1<<uint(nIn); m++ {
+			for i := 0; i < nIn; i++ {
+				in[i] = m&(1<<uint(i)) != 0
+			}
+			setState(code)
+			out, err := st.Step(in)
+			if err != nil {
+				return nil, err
+			}
+			next := readState()
+			inCube := make([]byte, nIn)
+			for i := 0; i < nIn; i++ {
+				if in[i] {
+					inCube[i] = '1'
+				} else {
+					inCube[i] = '0'
+				}
+			}
+			outStr := make([]byte, len(out))
+			for i, v := range out {
+				if v {
+					outStr[i] = '1'
+				} else {
+					outStr[i] = '0'
+				}
+			}
+			if err := g.AddEdge(string(inCube), name(code), name(next), string(outStr)); err != nil {
+				return nil, err
+			}
+			if !visited[next] {
+				queue = append(queue, next)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,257 @@
+// Package sw implements the survey's system/software level (§V): a small
+// load/store RISC ISA with a functional simulator, an instruction-level
+// power model in the style of Tiwari, Malik and Wolfe [46] (per-class base
+// cost plus inter-instruction circuit-state overhead), the cold-scheduling
+// transformation of Su, Tsui and Despain [40], DSP-style instruction
+// pairing (MAC formation, [23]), and kernels demonstrating the survey's
+// software claims: faster code is lower-energy code, register operands are
+// much cheaper than memory operands, and scheduling matters for small DSPs
+// but barely for large CPUs.
+package sw
+
+import "fmt"
+
+// Opcode enumerates the ISA.
+type Opcode int
+
+// Opcodes.
+const (
+	NOP Opcode = iota
+	ADD        // rd = rs + rt
+	SUB        // rd = rs - rt
+	AND        // rd = rs & rt
+	OR         // rd = rs | rt
+	XOR        // rd = rs ^ rt
+	SHL        // rd = rs << imm
+	SHR        // rd = rs >> imm (logical)
+	MUL        // rd = rs * rt
+	MAC        // rd = rd + rs*rt (DSP pairing target)
+	LI         // rd = imm
+	MOV        // rd = rs
+	LW         // rd = mem[rs + imm]
+	SW         // mem[rs + imm] = rt
+	BEQ        // if rs == rt jump to Target
+	BNE        // if rs != rt jump to Target
+	JMP        // jump to Target
+	HALT
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", MUL: "mul", MAC: "mac", LI: "li", MOV: "mov",
+	LW: "lw", SW: "sw", BEQ: "beq", BNE: "bne", JMP: "jmp", HALT: "halt",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if o >= 0 && int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Class groups opcodes for the power model: the Tiwari methodology
+// assigns base current per instruction class.
+type Class int
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassMem
+	ClassBranch
+	ClassMisc
+	numClasses
+)
+
+var classNames = [...]string{"alu", "mul", "mem", "branch", "misc"}
+
+// String returns the class name.
+func (c Class) String() string {
+	if c >= 0 && int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ClassOf maps opcode to class.
+func ClassOf(o Opcode) Class {
+	switch o {
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MOV, LI:
+		return ClassALU
+	case MUL, MAC:
+		return ClassMul
+	case LW, SW:
+		return ClassMem
+	case BEQ, BNE, JMP:
+		return ClassBranch
+	default:
+		return ClassMisc
+	}
+}
+
+// NumRegs is the architectural register count.
+const NumRegs = 16
+
+// Instr is one instruction.
+type Instr struct {
+	Op         Opcode
+	Rd, Rs, Rt int
+	Imm        int32
+	Target     int // instruction index for branches/jumps
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, HALT:
+		return i.Op.String()
+	case LI:
+		return fmt.Sprintf("li r%d, %d", i.Rd, i.Imm)
+	case MOV:
+		return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Rs)
+	case SHL, SHR:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case LW:
+		return fmt.Sprintf("lw r%d, %d(r%d)", i.Rd, i.Imm, i.Rs)
+	case SW:
+		return fmt.Sprintf("sw r%d, %d(r%d)", i.Rt, i.Imm, i.Rs)
+	case BEQ, BNE:
+		return fmt.Sprintf("%s r%d, r%d, @%d", i.Op, i.Rs, i.Rt, i.Target)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", i.Target)
+	case MAC:
+		return fmt.Sprintf("mac r%d, r%d, r%d", i.Rd, i.Rs, i.Rt)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
+	}
+}
+
+// Program is an instruction sequence.
+type Program []Instr
+
+// CPU is the architectural state.
+type CPU struct {
+	Reg [NumRegs]int32
+	Mem []int32
+	PC  int
+}
+
+// NewCPU returns a CPU with the given memory size in words.
+func NewCPU(memWords int) *CPU {
+	return &CPU{Mem: make([]int32, memWords)}
+}
+
+// RunStats summarizes an execution.
+type RunStats struct {
+	Instructions int
+	Cycles       int
+	MemOps       int
+	// Trace is the executed opcode sequence (for energy accounting).
+	Trace []Opcode
+}
+
+// CyclesOf gives per-opcode latency: memory and multiply operations are
+// multi-cycle, as on the CPUs of [46].
+func CyclesOf(o Opcode) int {
+	switch ClassOf(o) {
+	case ClassMul:
+		return 4
+	case ClassMem:
+		return 2
+	case ClassBranch:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Run executes the program until HALT or maxInstrs instructions.
+func (c *CPU) Run(p Program, maxInstrs int) (RunStats, error) {
+	var st RunStats
+	c.PC = 0
+	for st.Instructions < maxInstrs {
+		if c.PC < 0 || c.PC >= len(p) {
+			return st, fmt.Errorf("sw: PC %d out of program (len %d)", c.PC, len(p))
+		}
+		in := p[c.PC]
+		if err := c.checkRegs(in); err != nil {
+			return st, err
+		}
+		st.Instructions++
+		st.Cycles += CyclesOf(in.Op)
+		st.Trace = append(st.Trace, in.Op)
+		next := c.PC + 1
+		switch in.Op {
+		case NOP:
+		case ADD:
+			c.Reg[in.Rd] = c.Reg[in.Rs] + c.Reg[in.Rt]
+		case SUB:
+			c.Reg[in.Rd] = c.Reg[in.Rs] - c.Reg[in.Rt]
+		case AND:
+			c.Reg[in.Rd] = c.Reg[in.Rs] & c.Reg[in.Rt]
+		case OR:
+			c.Reg[in.Rd] = c.Reg[in.Rs] | c.Reg[in.Rt]
+		case XOR:
+			c.Reg[in.Rd] = c.Reg[in.Rs] ^ c.Reg[in.Rt]
+		case SHL:
+			c.Reg[in.Rd] = c.Reg[in.Rs] << uint(in.Imm&31)
+		case SHR:
+			c.Reg[in.Rd] = int32(uint32(c.Reg[in.Rs]) >> uint(in.Imm&31))
+		case MUL:
+			c.Reg[in.Rd] = c.Reg[in.Rs] * c.Reg[in.Rt]
+		case MAC:
+			c.Reg[in.Rd] += c.Reg[in.Rs] * c.Reg[in.Rt]
+		case LI:
+			c.Reg[in.Rd] = in.Imm
+		case MOV:
+			c.Reg[in.Rd] = c.Reg[in.Rs]
+		case LW:
+			addr := int(c.Reg[in.Rs]) + int(in.Imm)
+			if addr < 0 || addr >= len(c.Mem) {
+				return st, fmt.Errorf("sw: load address %d out of memory", addr)
+			}
+			c.Reg[in.Rd] = c.Mem[addr]
+			st.MemOps++
+		case SW:
+			addr := int(c.Reg[in.Rs]) + int(in.Imm)
+			if addr < 0 || addr >= len(c.Mem) {
+				return st, fmt.Errorf("sw: store address %d out of memory", addr)
+			}
+			c.Mem[addr] = c.Reg[in.Rt]
+			st.MemOps++
+		case BEQ:
+			if c.Reg[in.Rs] == c.Reg[in.Rt] {
+				next = in.Target
+			}
+		case BNE:
+			if c.Reg[in.Rs] != c.Reg[in.Rt] {
+				next = in.Target
+			}
+		case JMP:
+			next = in.Target
+		case HALT:
+			return st, nil
+		default:
+			return st, fmt.Errorf("sw: illegal opcode %d", in.Op)
+		}
+		c.PC = next
+	}
+	return st, fmt.Errorf("sw: instruction budget %d exhausted", maxInstrs)
+}
+
+func (c *CPU) checkRegs(in Instr) error {
+	chk := func(r int) error {
+		if r < 0 || r >= NumRegs {
+			return fmt.Errorf("sw: register r%d out of range in %s", r, in)
+		}
+		return nil
+	}
+	if err := chk(in.Rd); err != nil {
+		return err
+	}
+	if err := chk(in.Rs); err != nil {
+		return err
+	}
+	return chk(in.Rt)
+}

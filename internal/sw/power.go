@@ -1,0 +1,116 @@
+package sw
+
+import "fmt"
+
+// PowerModel is an instruction-level energy model in the Tiwari [46]
+// style: each instruction draws a base energy per cycle for its class,
+// executing instruction B right after instruction A adds a circuit-state
+// overhead depending on the (class(A), class(B)) pair, and memory operands
+// carry an extra per-access penalty (register operands are much cheaper —
+// the survey's register-allocation point).
+type PowerModel struct {
+	Name string
+	// Base energy per cycle by class (nJ).
+	Base [numClasses]float64
+	// Overhead energy added between consecutive instructions of the given
+	// classes (nJ).
+	Overhead [numClasses][numClasses]float64
+	// MemPenalty is added per memory access on top of the class base.
+	MemPenalty float64
+}
+
+// BigCPUModel models a large general-purpose CPU: high base costs, small
+// and nearly uniform inter-instruction overheads — the regime where [46]
+// found instruction reordering unimportant.
+func BigCPUModel() *PowerModel {
+	m := &PowerModel{Name: "bigcpu", MemPenalty: 3.0}
+	m.Base = [numClasses]float64{
+		ClassALU: 2.0, ClassMul: 2.6, ClassMem: 2.2, ClassBranch: 2.1, ClassMisc: 1.5,
+	}
+	for a := Class(0); a < numClasses; a++ {
+		for b := Class(0); b < numClasses; b++ {
+			if a != b {
+				m.Overhead[a][b] = 0.15
+			}
+		}
+	}
+	return m
+}
+
+// DSPModel models a small DSP: lower base costs but large, non-uniform
+// circuit-state overheads between unit classes — the regime of [23,40]
+// where cold scheduling pays.
+func DSPModel() *PowerModel {
+	m := &PowerModel{Name: "dsp", MemPenalty: 2.5}
+	m.Base = [numClasses]float64{
+		ClassALU: 1.0, ClassMul: 1.8, ClassMem: 1.4, ClassBranch: 1.1, ClassMisc: 0.8,
+	}
+	for a := Class(0); a < numClasses; a++ {
+		for b := Class(0); b < numClasses; b++ {
+			if a != b {
+				m.Overhead[a][b] = 0.9
+			}
+		}
+	}
+	// Switching the multiplier unit on/off is especially costly.
+	m.Overhead[ClassALU][ClassMul] = 1.6
+	m.Overhead[ClassMul][ClassALU] = 1.6
+	m.Overhead[ClassMem][ClassMul] = 1.8
+	m.Overhead[ClassMul][ClassMem] = 1.8
+	return m
+}
+
+// EnergyBreakdown details where a program's energy went.
+type EnergyBreakdown struct {
+	BaseNJ     float64
+	OverheadNJ float64
+	MemoryNJ   float64
+	Cycles     int
+}
+
+// Total is the program energy in nJ.
+func (e EnergyBreakdown) Total() float64 { return e.BaseNJ + e.OverheadNJ + e.MemoryNJ }
+
+// AveragePowerW returns energy/time assuming the given clock in MHz
+// (nJ per cycle × cycles, over cycles/f). Used for the survey's point that
+// energy, not power, is what battery life sees.
+func (e EnergyBreakdown) AveragePowerW(clockMHz float64) float64 {
+	if e.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(e.Cycles) / (clockMHz * 1e6)
+	return e.Total() * 1e-9 / seconds
+}
+
+// Energy evaluates the model over an executed opcode trace.
+func (m *PowerModel) Energy(trace []Opcode) EnergyBreakdown {
+	var e EnergyBreakdown
+	prevValid := false
+	var prev Class
+	for _, op := range trace {
+		cl := ClassOf(op)
+		cyc := CyclesOf(op)
+		e.Cycles += cyc
+		e.BaseNJ += m.Base[cl] * float64(cyc)
+		if cl == ClassMem {
+			e.MemoryNJ += m.MemPenalty
+		}
+		if prevValid {
+			e.OverheadNJ += m.Overhead[prev][cl]
+		}
+		prev, prevValid = cl, true
+	}
+	return e
+}
+
+// MeasureProgram runs a program on a fresh CPU with the given memory image
+// and returns both run statistics and its energy under the model.
+func MeasureProgram(p Program, mem []int32, m *PowerModel, maxInstrs int) (RunStats, EnergyBreakdown, *CPU, error) {
+	cpu := NewCPU(len(mem))
+	copy(cpu.Mem, mem)
+	st, err := cpu.Run(p, maxInstrs)
+	if err != nil {
+		return st, EnergyBreakdown{}, cpu, fmt.Errorf("sw: %s: %w", "run", err)
+	}
+	return st, m.Energy(st.Trace), cpu, nil
+}

@@ -1,0 +1,257 @@
+// Package xsistor models circuit-level optimizations from §II of the
+// survey: transistor reordering within complex CMOS gates (Prasad/Roy [32],
+// Tan/Allen [42]) and slack-driven transistor sizing under a delay
+// constraint ([42], Bahar et al. [3]).
+//
+// The reordering model follows the standard series-stack analysis: in the
+// N-network of a CMOS gate, the internal nodes between series transistors
+// carry parasitic capacitance. Which internal nodes charge and discharge
+// depends on the input ordering, so both the power dissipated in the stack
+// and the gate's effective delay (late inputs should be placed near the
+// output) are functions of the permutation.
+package xsistor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SeriesStack models the N-type series stack of a CMOS NAND-style gate
+// with k inputs. Position 0 is adjacent to the gate output; position k-1
+// is adjacent to ground. Internal node i sits between transistor i and
+// transistor i+1 (there are k-1 internal nodes).
+type SeriesStack struct {
+	// Order[i] is the input index driving the transistor at position i.
+	Order []int
+	// CInternal is the parasitic capacitance of each internal node.
+	CInternal float64
+	// COut is the gate output capacitance.
+	COut float64
+}
+
+// NewSeriesStack builds a stack over k inputs in natural order.
+func NewSeriesStack(k int) (*SeriesStack, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("xsistor: series stack needs >= 2 inputs, got %d", k)
+	}
+	ord := make([]int, k)
+	for i := range ord {
+		ord[i] = i
+	}
+	return &SeriesStack{Order: ord, CInternal: 1.0, COut: float64(k)}, nil
+}
+
+// StackState tracks the charge state of the output and internal nodes
+// across cycles.
+type StackState struct {
+	out      bool // output node voltage is high
+	internal []bool
+}
+
+// NewState returns the reset state (all nodes discharged, output high —
+// the NAND of all-zero inputs).
+func (s *SeriesStack) NewState() *StackState {
+	return &StackState{out: true, internal: make([]bool, len(s.Order)-1)}
+}
+
+// Step applies one input vector (indexed by input index, not position) and
+// returns the switched capacitance this cycle: the sum of C·(number of
+// charging transitions) over the output and internal nodes, counting both
+// edges (charge + discharge each contribute one transition of that node).
+//
+// Electrical model: the output node is driven high by the P-network unless
+// all N transistors conduct. An internal node is connected to ground when
+// every transistor below it conducts; it is connected to the output node
+// when every transistor above it conducts; otherwise it floats and holds
+// its charge.
+func (s *SeriesStack) Step(st *StackState, inputs []bool) float64 {
+	k := len(s.Order)
+	on := make([]bool, k)
+	allOn := true
+	for pos := 0; pos < k; pos++ {
+		on[pos] = inputs[s.Order[pos]]
+		if !on[pos] {
+			allOn = false
+		}
+	}
+	switched := 0.0
+	newOut := !allOn
+	if newOut != st.out {
+		switched += s.COut
+		st.out = newOut
+	}
+	for i := 0; i < k-1; i++ {
+		// Below: transistors i+1..k-1; above: 0..i.
+		below := true
+		for j := i + 1; j < k; j++ {
+			if !on[j] {
+				below = false
+				break
+			}
+		}
+		above := true
+		for j := 0; j <= i; j++ {
+			if !on[j] {
+				above = false
+				break
+			}
+		}
+		var newV bool
+		switch {
+		case below:
+			newV = false // tied to ground
+		case above:
+			newV = st.out // tied to output
+		default:
+			newV = st.internal[i] // floating: hold
+		}
+		if newV != st.internal[i] {
+			switched += s.CInternal
+			st.internal[i] = newV
+		}
+	}
+	return switched
+}
+
+// SimulatePower runs the stack over the vector stream and returns the
+// average switched capacitance per cycle.
+func (s *SeriesStack) SimulatePower(vectors [][]bool) float64 {
+	st := s.NewState()
+	total := 0.0
+	for _, v := range vectors {
+		total += s.Step(st, v)
+	}
+	if len(vectors) == 0 {
+		return 0
+	}
+	return total / float64(len(vectors))
+}
+
+// Delay returns the gate delay under an Elmore-style model given per-input
+// arrival times: when the transistor at position p switches last, the
+// discharge path sees the resistance of positions 0..p driving the output
+// plus internal capacitance below, so later positions (nearer ground)
+// contribute more delay. The survey's rule "late signals near the output"
+// falls out of minimizing this.
+func (s *SeriesStack) Delay(arrival []float64) float64 {
+	k := len(s.Order)
+	worst := 0.0
+	for pos := 0; pos < k; pos++ {
+		// Elmore term: output cap through pos+1 series resistances plus
+		// the internal nodes above this transistor.
+		d := s.COut*float64(pos+1) + s.CInternal*float64(pos)
+		t := arrival[s.Order[pos]] + d
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// ReorderObjective selects what the permutation search minimizes.
+type ReorderObjective int
+
+// Objectives for reordering.
+const (
+	ReorderPower ReorderObjective = iota
+	ReorderDelay
+	ReorderPowerDelay // minimize power subject to minimal delay
+)
+
+// ReorderResult reports the chosen order and its metrics.
+type ReorderResult struct {
+	Order []int
+	Power float64 // avg switched capacitance per cycle
+	Delay float64
+}
+
+// Reorder searches input permutations of the stack exhaustively (k <= 7)
+// for the best objective value under the given workload and arrival
+// times. It returns the best result without mutating s.
+func (s *SeriesStack) Reorder(obj ReorderObjective, vectors [][]bool, arrival []float64) (ReorderResult, error) {
+	k := len(s.Order)
+	if k > 7 {
+		return ReorderResult{}, fmt.Errorf("xsistor: exhaustive reorder limited to 7 inputs, got %d", k)
+	}
+	if arrival == nil {
+		arrival = make([]float64, k)
+	}
+	best := ReorderResult{Power: math.Inf(1), Delay: math.Inf(1)}
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	trial := &SeriesStack{CInternal: s.CInternal, COut: s.COut}
+	var visit func(int)
+	visit = func(i int) {
+		if i == k {
+			trial.Order = perm
+			p := trial.SimulatePower(vectors)
+			d := trial.Delay(arrival)
+			better := false
+			switch obj {
+			case ReorderPower:
+				better = p < best.Power-1e-15
+			case ReorderDelay:
+				better = d < best.Delay-1e-15
+			case ReorderPowerDelay:
+				better = d < best.Delay-1e-15 || (math.Abs(d-best.Delay) < 1e-12 && p < best.Power-1e-15)
+			}
+			if better {
+				best = ReorderResult{Order: append([]int(nil), perm...), Power: p, Delay: d}
+			}
+			return
+		}
+		for j := i; j < k; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			visit(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	visit(0)
+	return best, nil
+}
+
+// HeuristicOrder applies the survey's rule of thumb without search: sort
+// inputs so that high signal-probability inputs sit near ground (keeping
+// internal nodes discharged) and, among similar probabilities, late
+// arrivals sit near the output.
+func HeuristicOrder(prob []float64, arrival []float64) []int {
+	k := len(prob)
+	ord := make([]int, k)
+	for i := range ord {
+		ord[i] = i
+	}
+	// Position 0 = output end. Score: low probability and late arrival go
+	// to the output end.
+	score := func(i int) float64 {
+		a := 0.0
+		if arrival != nil {
+			a = arrival[i]
+		}
+		return prob[i] - 0.1*a
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if score(ord[j]) < score(ord[i]) {
+				ord[i], ord[j] = ord[j], ord[i]
+			}
+		}
+	}
+	return ord
+}
+
+// BiasedVectors generates n input vectors where bit i is 1 with
+// probability p[i] — the workload model for reordering experiments.
+func BiasedVectors(r *rand.Rand, n int, p []float64) [][]bool {
+	out := make([][]bool, n)
+	for c := range out {
+		v := make([]bool, len(p))
+		for i := range v {
+			v[i] = r.Float64() < p[i]
+		}
+		out[c] = v
+	}
+	return out
+}
