@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gating"
 	"repro/internal/logic"
+	"repro/internal/obsv"
 	"repro/internal/power"
 	"repro/internal/precomp"
 	"repro/internal/sim"
@@ -178,6 +179,32 @@ func BenchmarkExactProbabilities(b *testing.B) {
 }
 
 func BenchmarkEventDrivenSim(b *testing.B) {
+	nw, err := circuits.ArrayMultiplier(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	vecs := sim.RandomVectors(r, 100, len(nw.PIs()), 0.5)
+	s, err := sim.New(nw, sim.UnitDelay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(vecs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventDrivenSimInstrumented runs the identical workload to
+// BenchmarkEventDrivenSim with the obsv registry enabled — compare the two
+// to verify the instrumentation overhead budget (metrics are updated once
+// per cycle, so enabled-vs-disabled should be within noise, and disabled
+// is required to be within 2% of the seed simulator).
+func BenchmarkEventDrivenSimInstrumented(b *testing.B) {
+	obsv.Enable()
+	defer obsv.Disable()
 	nw, err := circuits.ArrayMultiplier(6)
 	if err != nil {
 		b.Fatal(err)

@@ -1,40 +1,98 @@
-// Command experiments regenerates every experiment table E1..E16 (plus the
-// estimator ablation), the reproduction of the survey's quantitative
-// claims. Run with -only E5 to regenerate a single table.
+// Command experiments regenerates every experiment table E1..E16 plus the
+// E4b estimator ablation — the reproduction of the survey's quantitative
+// claims. Run with -only E5 to regenerate a single table, -json for a
+// machine-readable {tables, metrics, go_version, seed} report, and
+// -metrics to collect (and, in text mode, print) the instrumentation
+// counters of the substrates that produced the tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E5,E13); empty = all")
+	jsonOut := flag.Bool("json", false, "emit a JSON report {tables, metrics, go_version, seed} instead of text tables")
+	metrics := flag.Bool("metrics", false, "enable the obsv registry; text mode appends a metrics dump (-json always includes one)")
+	outPath := flag.String("o", "", "write the report to this file instead of stdout")
+	seed := flag.Int64("seed", 1, "workload seed recorded in the report for provenance")
 	flag.Parse()
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
-	all := experiments.All()
-	all = append(all, experiments.Experiment{ID: "E4B", Run: experiments.ProbabilityAblation})
+
+	var reg *obsv.Registry
+	if *jsonOut || *metrics {
+		reg = obsv.Enable()
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	matched := map[string]bool{}
+	var tables []*experiments.Table
 	failed := 0
-	for _, ex := range all {
-		if len(want) > 0 && !want[strings.ToUpper(ex.ID)] {
+	for _, ex := range experiments.All() {
+		id := strings.ToUpper(ex.ID)
+		if len(want) > 0 && !want[id] {
 			continue
 		}
+		matched[id] = true
 		tbl, err := ex.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
 			failed++
 			continue
 		}
-		fmt.Println(tbl.Format())
+		tables = append(tables, tbl)
+	}
+
+	// A requested ID that matched nothing is an error, not silence.
+	var unknown []string
+	for id := range want {
+		if !matched[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment ID(s): %s\n", strings.Join(unknown, ", "))
+		failed++
+	}
+
+	if *jsonOut {
+		rep := experiments.NewReport(*seed)
+		rep.Tables = tables
+		rep.Metrics = reg.Export()
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			failed++
+		}
+	} else {
+		for _, tbl := range tables {
+			fmt.Fprintln(out, tbl.Format())
+		}
+		if *metrics {
+			fmt.Fprintf(out, "== metrics ==\n%s", reg.FormatText())
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obsv"
 )
 
 var generators = map[string]func() (*logic.Network, error){
@@ -39,7 +40,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list circuits, flows and passes")
 	out := flag.String("o", "", "write the optimized network as BLIF to this file")
+	metrics := flag.Bool("metrics", false, "print per-pass timing and substrate counters after the flow")
 	flag.Parse()
+
+	var reg *obsv.Registry
+	if *metrics {
+		reg = obsv.Enable()
+	}
 
 	if *list {
 		var names []string
@@ -72,6 +79,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(rep)
+	if *metrics {
+		fmt.Printf("metrics:\n%s", indent(reg.FormatText(), "  "))
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -105,6 +115,18 @@ func loadNetwork(circuit, blif string) (*logic.Network, error) {
 	default:
 		return nil, fmt.Errorf("specify -circuit or -blif (try -list)")
 	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.SplitAfter(s, "\n")
+	var b strings.Builder
+	for _, l := range lines {
+		if l != "" {
+			b.WriteString(prefix)
+			b.WriteString(l)
+		}
+	}
+	return b.String()
 }
 
 func fatal(err error) {

@@ -15,6 +15,8 @@ package bdd
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obsv"
 )
 
 // Ref is a handle to a BDD node within a Manager. The zero value is the
@@ -41,6 +43,27 @@ type uniqueKey struct {
 
 type iteKey struct{ f, g, h Ref }
 
+// metrics holds the manager's registry handles, captured at New. All
+// handles are nil (no-op) when observability is disabled.
+type metrics struct {
+	uniqueHits   *obsv.Counter // bdd.unique.hits
+	uniqueMisses *obsv.Counter // bdd.unique.misses
+	iteHits      *obsv.Counter // bdd.ite.hits
+	iteMisses    *obsv.Counter // bdd.ite.misses
+	nodes        *obsv.Gauge   // bdd.nodes: high-water node count
+}
+
+func newMetrics() metrics {
+	r := obsv.Default()
+	return metrics{
+		uniqueHits:   r.Counter("bdd.unique.hits"),
+		uniqueMisses: r.Counter("bdd.unique.misses"),
+		iteHits:      r.Counter("bdd.ite.hits"),
+		iteMisses:    r.Counter("bdd.ite.misses"),
+		nodes:        r.Gauge("bdd.nodes"),
+	}
+}
+
 // Manager owns a set of BDD nodes over a fixed number of variables.
 // Variable i has level i: lower-indexed variables appear nearer the root.
 type Manager struct {
@@ -48,6 +71,7 @@ type Manager struct {
 	unique map[uniqueKey]Ref
 	iteC   map[iteKey]Ref
 	nvars  int
+	met    metrics
 }
 
 // New creates a manager with nvars variables.
@@ -56,6 +80,7 @@ func New(nvars int) *Manager {
 		unique: make(map[uniqueKey]Ref),
 		iteC:   make(map[iteKey]Ref),
 		nvars:  nvars,
+		met:    newMetrics(),
 	}
 	// Terminal nodes: index 0 = false, 1 = true.
 	m.nodes = append(m.nodes,
@@ -101,11 +126,14 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	}
 	k := uniqueKey{level, lo, hi}
 	if r, ok := m.unique[k]; ok {
+		m.met.uniqueHits.Inc()
 		return r
 	}
+	m.met.uniqueMisses.Inc()
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.unique[k] = r
+	m.met.nodes.Max(float64(len(m.nodes)))
 	return r
 }
 
@@ -127,8 +155,10 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	}
 	k := iteKey{f, g, h}
 	if r, ok := m.iteC[k]; ok {
+		m.met.iteHits.Inc()
 		return r
 	}
+	m.met.iteMisses.Inc()
 	top := m.level(f)
 	if l := m.level(g); l < top {
 		top = l

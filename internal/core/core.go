@@ -16,6 +16,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/dontcare"
 	"repro/internal/logic"
+	"repro/internal/obsv"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -231,12 +232,16 @@ func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
 	if verify {
 		golden = nw.Clone()
 	}
+	obs := obsv.Default()
 	for _, name := range flow.Passes {
 		p, ok := reg[name]
 		if !ok {
 			return nil, fmt.Errorf("core: unknown pass %q in flow %q", name, flow.Name)
 		}
-		if err := p.Run(nw, ctx); err != nil {
+		stop := obs.Timer("lpflow.pass." + name + ".ns").Start()
+		err := p.Run(nw, ctx)
+		stop()
+		if err != nil {
 			return nil, fmt.Errorf("core: pass %q: %w", name, err)
 		}
 		if err := nw.Check(); err != nil {
@@ -251,11 +256,16 @@ func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
 				return nil, fmt.Errorf("core: pass %q changed the circuit function", name)
 			}
 		}
+		prev := rep.Steps[len(rep.Steps)-1]
 		snap, err := Measure(nw, ctx, name)
 		if err != nil {
 			return nil, err
 		}
 		rep.Steps = append(rep.Steps, snap)
+		// Before/after deltas per pass: negative dpower means the pass
+		// reduced simulated (glitch-inclusive) power.
+		obs.Gauge("lpflow.pass." + name + ".dpower").Set(snap.SimP - prev.SimP)
+		obs.Gauge("lpflow.pass." + name + ".dgates").Set(float64(snap.Gates - prev.Gates))
 	}
 	return rep, nil
 }

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// Report is the machine-readable output of a cmd/experiments run: every
+// regenerated table plus the observability registry's exported metrics and
+// run provenance. The schema is documented in DESIGN.md ("Observability").
+type Report struct {
+	Tables    []*Table               `json:"tables"`
+	Metrics   map[string]interface{} `json:"metrics,omitempty"`
+	GoVersion string                 `json:"go_version"`
+	Seed      int64                  `json:"seed"`
+}
+
+// NewReport creates an empty report stamped with the running Go version.
+func NewReport(seed int64) *Report {
+	return &Report{GoVersion: runtime.Version(), Seed: seed}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

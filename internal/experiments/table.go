@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -63,6 +64,34 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
+// tableJSON is the machine-readable form of a Table; the field set is the
+// schema of the "tables" entries in the cmd/experiments -json report.
+type tableJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON renders the table as a JSON object with lowercase keys.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+	})
+}
+
+// UnmarshalJSON parses the form produced by MarshalJSON, so downstream
+// tooling can round-trip report files.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	*t = Table{ID: tj.ID, Title: tj.Title, Header: tj.Header, Rows: tj.Rows, Notes: tj.Notes}
+	return nil
+}
+
 // Experiment pairs an ID with its generator.
 type Experiment struct {
 	ID  string
@@ -76,6 +105,7 @@ func All() []Experiment {
 		{"E2", E2Reordering},
 		{"E3", E3Sizing},
 		{"E4", E4DontCare},
+		{"E4b", ProbabilityAblation},
 		{"E5", E5PathBalance},
 		{"E6", E6Factoring},
 		{"E7", E7TechMap},

@@ -1,0 +1,157 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil registry and every handle it yields must be usable no-ops — the
+// disabled fast path instrumented code relies on.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d, want 0", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Max(9)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %g, want 0", g.Value())
+	}
+	tm := r.Timer("z")
+	tm.Start()()
+	tm.Observe(time.Second)
+	if tm.Count() != 0 || tm.TotalNs() != 0 {
+		t.Error("nil timer recorded something")
+	}
+	h := r.Histogram("w")
+	h.Observe(7)
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Buckets() != nil {
+		t.Error("nil histogram recorded something")
+	}
+	if len(r.Export()) != 0 {
+		t.Error("nil registry exported metrics")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim.events")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if again := r.Counter("sim.events"); again != c {
+		t.Error("same name should return the same counter")
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	g := NewRegistry().Gauge("q")
+	g.Max(3)
+	g.Max(1)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %g, want 3", g.Value())
+	}
+	g.Set(-2)
+	if g.Value() != -2 {
+		t.Errorf("gauge = %g, want -2", g.Value())
+	}
+	g.Max(0)
+	if g.Value() != 0 {
+		t.Errorf("gauge = %g, want 0", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("settle")
+	for _, v := range []int64{0, 1, 2, 3, 4, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Errorf("max = %d, want 100", h.Max())
+	}
+	want := map[int64]int64{0: 1, 1: 1, 2: 2, 4: 1, 8: 1, 64: 1}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for lo, n := range want {
+		if got[lo] != n {
+			t.Errorf("bucket %d = %d, want %d", lo, got[lo], n)
+		}
+	}
+}
+
+func TestTimerObserve(t *testing.T) {
+	tm := NewRegistry().Timer("pass.ns")
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(5 * time.Millisecond)
+	if tm.Count() != 2 {
+		t.Errorf("count = %d, want 2", tm.Count())
+	}
+	if tm.TotalNs() != int64(8*time.Millisecond) {
+		t.Errorf("total = %d, want %d", tm.TotalNs(), int64(8*time.Millisecond))
+	}
+}
+
+func TestExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(4)
+	r.Gauge("b.gauge").Set(2.5)
+	r.Timer("c.ns").Observe(time.Microsecond)
+	r.Histogram("d.hist").Observe(6)
+	exp := r.Export()
+	if exp["a.count"] != int64(4) {
+		t.Errorf("a.count = %v", exp["a.count"])
+	}
+	if exp["b.gauge"] != 2.5 {
+		t.Errorf("b.gauge = %v", exp["b.gauge"])
+	}
+	tm, ok := exp["c.ns"].(map[string]interface{})
+	if !ok || tm["count"] != int64(1) || tm["total_ns"] != int64(1000) {
+		t.Errorf("c.ns = %v", exp["c.ns"])
+	}
+	hs, ok := exp["d.hist"].(map[string]interface{})
+	if !ok || hs["count"] != int64(1) || hs["max"] != int64(6) {
+		t.Errorf("d.hist = %v", exp["d.hist"])
+	}
+	if txt := r.FormatText(); txt == "" {
+		t.Error("FormatText empty")
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	Disable()
+	if Default() != nil {
+		t.Fatal("Default should be nil before Enable")
+	}
+	r := Enable()
+	if r == nil || Default() != r {
+		t.Fatal("Enable should install the default registry")
+	}
+	if again := Enable(); again != r {
+		t.Error("second Enable should return the same registry")
+	}
+	Disable()
+	if Default() != nil {
+		t.Error("Default should be nil after Disable")
+	}
+}

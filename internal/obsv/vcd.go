@@ -1,0 +1,209 @@
+// VCD (IEEE 1364 value-change-dump) waveform output for the event-driven
+// simulator. NetTrace implements sim's Tracer hook structurally, so any
+// cycle of any experiment can be dumped and opened in GTKWave to see —
+// not just count — the spurious transitions the glitch experiments (E5)
+// measure.
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// vcdChange is one buffered value change within the current cycle.
+type vcdChange struct {
+	t   int
+	sig int
+	val bool
+}
+
+// NetTrace streams a VCD waveform of every live net in a network. Attach
+// it to a simulator with sim.Simulator.SetTracer; call Close when the run
+// is complete to flush the file. The zero timestamp of each cycle is
+// placed Period time units after the previous cycle's start (or directly
+// after its settle time when Period is 0/auto).
+type NetTrace struct {
+	w   *bufio.Writer
+	err error
+
+	scope string
+	ids   []logic.NodeID // traced nodes in declaration order
+	sig   map[logic.NodeID]int
+	codes []string
+	names []string
+
+	// Period is the VCD time distance between successive cycle starts.
+	// 0 means auto: each cycle begins one unit after the last event of
+	// the previous one.
+	Period int
+
+	offset     int64 // VCD time of the current cycle's t=0
+	lastStamp  int64 // last timestamp written
+	anyStamp   bool  // whether any timestamp has been written yet
+	headerDone bool
+	initial    []byte // per-signal initial value: '0', '1' or 'x'
+	buf        []vcdChange
+	settled    int
+}
+
+// NewNetTrace creates a trace of all live nodes of nw writing to w.
+// period is the VCD time per clock cycle (0 = auto-advance past each
+// cycle's settle time).
+func NewNetTrace(w io.Writer, nw *logic.Network, period int) *NetTrace {
+	tr := &NetTrace{
+		w:      bufio.NewWriter(w),
+		scope:  nw.Name,
+		sig:    make(map[logic.NodeID]int),
+		Period: period,
+	}
+	for _, id := range nw.Live() {
+		n := nw.Node(id)
+		i := len(tr.ids)
+		tr.ids = append(tr.ids, id)
+		tr.sig[id] = i
+		tr.codes = append(tr.codes, vcdCode(i))
+		tr.names = append(tr.names, vcdName(n.Name, i))
+		tr.initial = append(tr.initial, 'x')
+	}
+	return tr
+}
+
+// SnapshotInitial records the pre-simulation value of every traced net
+// (typically sim.Simulator.Value after sim.New) so the $dumpvars section
+// shows real values instead of 'x'. Must be called before the first cycle.
+func (tr *NetTrace) SnapshotInitial(val func(logic.NodeID) bool) {
+	if tr.headerDone {
+		return
+	}
+	for i, id := range tr.ids {
+		if val(id) {
+			tr.initial[i] = '1'
+		} else {
+			tr.initial[i] = '0'
+		}
+	}
+}
+
+// BeginCycle starts a new clock cycle (sim.Tracer hook).
+func (tr *NetTrace) BeginCycle(cycle int) {
+	tr.writeHeader()
+	if cycle > 0 {
+		adv := int64(tr.Period)
+		if auto := int64(tr.settled) + 1; tr.Period == 0 || auto > adv {
+			adv = auto
+		}
+		tr.offset += adv
+	}
+	tr.buf = tr.buf[:0]
+	tr.settled = 0
+}
+
+// Change records a net transition at cycle-relative time t (sim.Tracer
+// hook).
+func (tr *NetTrace) Change(t int, id logic.NodeID, val bool) {
+	s, ok := tr.sig[id]
+	if !ok {
+		return
+	}
+	tr.buf = append(tr.buf, vcdChange{t: t, sig: s, val: val})
+	if t > tr.settled {
+		tr.settled = t
+	}
+}
+
+// EndCycle flushes the cycle's buffered changes (sim.Tracer hook).
+func (tr *NetTrace) EndCycle(settle int) {
+	if settle > tr.settled {
+		tr.settled = settle
+	}
+	for _, ch := range tr.buf {
+		at := tr.offset + int64(ch.t)
+		if at > tr.lastStamp || !tr.anyStamp {
+			tr.printf("#%d\n", at)
+			tr.lastStamp = at
+			tr.anyStamp = true
+		}
+		v := byte('0')
+		if ch.val {
+			v = '1'
+		}
+		tr.printf("%c%s\n", v, tr.codes[ch.sig])
+	}
+	tr.buf = tr.buf[:0]
+}
+
+// Close writes the final timestamp and flushes. It returns the first
+// write error encountered, if any.
+func (tr *NetTrace) Close() error {
+	tr.writeHeader()
+	if end := tr.offset + int64(tr.settled) + 1; !tr.anyStamp || end > tr.lastStamp {
+		tr.printf("#%d\n", end)
+	}
+	if err := tr.w.Flush(); err != nil && tr.err == nil {
+		tr.err = err
+	}
+	return tr.err
+}
+
+func (tr *NetTrace) printf(format string, args ...interface{}) {
+	if _, err := fmt.Fprintf(tr.w, format, args...); err != nil && tr.err == nil {
+		tr.err = err
+	}
+}
+
+func (tr *NetTrace) writeHeader() {
+	if tr.headerDone {
+		return
+	}
+	tr.headerDone = true
+	name := tr.scope
+	if name == "" {
+		name = "top"
+	}
+	tr.printf("$version repro obsv $end\n")
+	tr.printf("$timescale 1ns $end\n")
+	tr.printf("$scope module %s $end\n", vcdName(name, 0))
+	for i := range tr.ids {
+		tr.printf("$var wire 1 %s %s $end\n", tr.codes[i], tr.names[i])
+	}
+	tr.printf("$upscope $end\n")
+	tr.printf("$enddefinitions $end\n")
+	tr.printf("$dumpvars\n")
+	for i := range tr.ids {
+		tr.printf("%c%s\n", tr.initial[i], tr.codes[i])
+	}
+	tr.printf("$end\n")
+}
+
+// vcdCode maps a signal index to a VCD identifier code over the printable
+// ASCII range 33..126.
+func vcdCode(i int) string {
+	const lo, n = 33, 94
+	var b []byte
+	for {
+		b = append(b, byte(lo+i%n))
+		i /= n
+		if i == 0 {
+			return string(b)
+		}
+		i--
+	}
+}
+
+// vcdName sanitizes a net name for use in a $var declaration; empty names
+// get a positional fallback.
+func vcdName(name string, i int) string {
+	if name == "" {
+		return fmt.Sprintf("n%d", i)
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			return '_'
+		}
+		return r
+	}, name)
+}

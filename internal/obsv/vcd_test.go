@@ -1,0 +1,143 @@
+package obsv_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/obsv"
+	"repro/internal/sim"
+)
+
+// The classic static-1 hazard: y = a AND (NOT a) with a slow inverter.
+// When a rises, y sees the new a against the stale NOT a and pulses high
+// for two time units — exactly the spurious transition E5 counts. The VCD
+// dump must show the pulse.
+func TestVCDGoldenGlitch(t *testing.T) {
+	nw := logic.New("glitch")
+	a := nw.MustInput("a")
+	na := nw.MustGate("na", logic.Not, a)
+	y := nw.MustGate("y", logic.And, a, na)
+	if err := nw.MarkOutput(y); err != nil {
+		t.Fatal(err)
+	}
+	slowInverter := func(n *logic.Node) int {
+		if n.Type == logic.Not {
+			return 2
+		}
+		return 1
+	}
+	s, err := sim.New(nw, slowInverter)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	tr := obsv.NewNetTrace(&buf, nw, 0)
+	tr.SnapshotInitial(s.Value)
+	s.SetTracer(tr)
+
+	cs1, err := s.Cycle([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs1.Transitions != 3 || cs1.Spurious != 2 {
+		t.Fatalf("rising cycle: transitions=%d spurious=%d, want 3/2", cs1.Transitions, cs1.Spurious)
+	}
+	cs2, err := s.Cycle([]bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Transitions != 1 || cs2.Spurious != 0 {
+		t.Fatalf("falling cycle: transitions=%d spurious=%d, want 1/0", cs2.Transitions, cs2.Spurious)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := `$version repro obsv $end
+$timescale 1ns $end
+$scope module glitch $end
+$var wire 1 ! a $end
+$var wire 1 " na $end
+$var wire 1 # y $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+1"
+0#
+$end
+#0
+1!
+#1
+1#
+#2
+0"
+#3
+0#
+#4
+0!
+#6
+1"
+#7
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("VCD mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// A fixed period spaces cycle starts evenly regardless of settle time.
+func TestVCDFixedPeriod(t *testing.T) {
+	nw := logic.New("buf")
+	a := nw.MustInput("a")
+	b := nw.MustGate("b", logic.Buf, a)
+	if err := nw.MarkOutput(b); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	tr := obsv.NewNetTrace(&buf, nw, 10)
+	tr.SnapshotInitial(s.Value)
+	s.SetTracer(tr)
+	for i, in := range []bool{true, false, true} {
+		if _, err := s.Cycle([]bool{in}); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, stamp := range []string{"#0\n", "#10\n", "#20\n"} {
+		if !strings.Contains(out, stamp) {
+			t.Errorf("missing timestamp %q in:\n%s", stamp, out)
+		}
+	}
+}
+
+// Net names are sanitized for $var declarations and unsnapshotted nets
+// dump as 'x'.
+func TestVCDHeaderSanitization(t *testing.T) {
+	nw := logic.New("top")
+	a := nw.MustInput("in with space")
+	g := nw.MustGate("g", logic.Not, a)
+	if err := nw.MarkOutput(g); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	tr := obsv.NewNetTrace(&buf, nw, 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "in_with_space") {
+		t.Errorf("net name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, "x!") {
+		t.Errorf("unsnapshotted nets should dump as x:\n%s", out)
+	}
+}

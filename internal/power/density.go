@@ -3,6 +3,7 @@ package power
 import (
 	"repro/internal/bdd"
 	"repro/internal/logic"
+	"repro/internal/obsv"
 )
 
 // TransitionDensities computes per-node transition densities by Najm's
@@ -50,6 +51,7 @@ func TransitionDensities(nw *logic.Network, inputDensity map[logic.NodeID]float6
 	if err != nil {
 		return nil, err
 	}
+	diffs := 0
 	for _, id := range order {
 		n := nw.Node(id)
 		f := nb.Fn[id]
@@ -62,9 +64,11 @@ func TransitionDensities(nw *logic.Network, inputDensity map[logic.NodeID]float6
 			diff := m.Xor(m.Restrict(f, vi, true), m.Restrict(f, vi, false))
 			src := nb.Vars[vi]
 			total += m.Probability(diff, pv) * density[src]
+			diffs++
 		}
 		density[id] = total
 	}
+	obsv.Default().Counter("power.density.diffs").Add(int64(diffs))
 	return density, nil
 }
 

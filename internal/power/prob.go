@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/logic"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,7 @@ func ExactProbabilities(nw *logic.Network, inputProb Probabilities) (Probabiliti
 	for id, f := range nb.Fn {
 		out[id] = nb.M.Probability(f, pv)
 	}
+	obsv.Default().Counter("power.exact.nodes").Add(int64(len(nb.Fn)))
 	return out, nil
 }
 
@@ -63,6 +65,7 @@ func PropagatedProbabilities(nw *logic.Network, inputProb Probabilities) (Probab
 	if err != nil {
 		return nil, err
 	}
+	propagated := 0
 	for _, id := range order {
 		n := nw.Node(id)
 		switch n.Type {
@@ -80,8 +83,10 @@ func PropagatedProbabilities(nw *logic.Network, inputProb Probabilities) (Probab
 				return nil, err
 			}
 			out[id] = p
+			propagated++
 		}
 	}
+	obsv.Default().Counter("power.prop.nodes").Add(int64(propagated))
 	return out, nil
 }
 

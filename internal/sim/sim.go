@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/logic"
+	"repro/internal/obsv"
 )
 
 // DelayModel assigns an integer propagation delay to each node. Gate delays
@@ -48,6 +49,38 @@ type CycleStats struct {
 	SettleTime int
 }
 
+// Tracer observes signal transitions during simulation — the hook behind
+// VCD waveform dumps (obsv.NetTrace). BeginCycle is called at the start of
+// every Cycle, Change once per net transition with its cycle-relative event
+// time (source nets — FFs and PIs — change at t=0), and EndCycle with the
+// cycle's settle time after quiescence.
+type Tracer interface {
+	BeginCycle(cycle int)
+	Change(t int, id logic.NodeID, val bool)
+	EndCycle(settle int)
+}
+
+// metrics holds the simulator's registry handles, captured once at
+// construction. All handles are nil (no-op) when observability is off.
+type metrics struct {
+	events   *obsv.Counter   // sim.events: gate-output transitions
+	spurious *obsv.Counter   // sim.spurious: glitch transitions
+	cycles   *obsv.Counter   // sim.cycles: clock cycles simulated
+	queueHWM *obsv.Gauge     // sim.queue.hwm: max pending evaluations
+	settle   *obsv.Histogram // sim.settle: per-cycle settle times
+}
+
+func newMetrics() metrics {
+	r := obsv.Default()
+	return metrics{
+		events:   r.Counter("sim.events"),
+		spurious: r.Counter("sim.spurious"),
+		cycles:   r.Counter("sim.cycles"),
+		queueHWM: r.Gauge("sim.queue.hwm"),
+		settle:   r.Histogram("sim.settle"),
+	}
+}
+
 // Simulator performs cycle-by-cycle event-driven simulation.
 type Simulator struct {
 	nw    *logic.Network
@@ -59,10 +92,15 @@ type Simulator struct {
 	nodeUseful      []int64
 	cycles          int
 
+	met    metrics
+	tracer Tracer
+
 	// scratch
 	pendingTimes []int
 	pending      map[int][]logic.NodeID
 	inQueue      map[int]map[logic.NodeID]bool
+	outstanding  int // events scheduled but not yet evaluated
+	cycleHWM     int // high-water mark of outstanding within the cycle
 }
 
 // New creates a simulator for the network under the given delay model.
@@ -78,6 +116,7 @@ func New(nw *logic.Network, dm DelayModel) (*Simulator, error) {
 		val:             make([]bool, nw.NumNodes()),
 		nodeTransitions: make([]int64, nw.NumNodes()),
 		nodeUseful:      make([]int64, nw.NumNodes()),
+		met:             newMetrics(),
 		pending:         make(map[int][]logic.NodeID),
 		inQueue:         make(map[int]map[logic.NodeID]bool),
 	}
@@ -135,6 +174,11 @@ func (s *Simulator) Reset() error {
 // Value returns the present value of a node.
 func (s *Simulator) Value(id logic.NodeID) bool { return s.val[id] }
 
+// SetTracer installs (or, with nil, removes) a transition observer. The
+// tracer sees every net change of every subsequent Cycle; it does not see
+// Reset. Attach obsv.NetTrace here to dump VCD waveforms.
+func (s *Simulator) SetTracer(tr Tracer) { s.tracer = tr }
+
 func (s *Simulator) schedule(t int, id logic.NodeID) {
 	q, ok := s.inQueue[t]
 	if !ok {
@@ -146,6 +190,10 @@ func (s *Simulator) schedule(t int, id logic.NodeID) {
 	if !q[id] {
 		q[id] = true
 		s.pending[t] = append(s.pending[t], id)
+		s.outstanding++
+		if s.outstanding > s.cycleHWM {
+			s.cycleHWM = s.outstanding
+		}
 	}
 }
 
@@ -160,6 +208,9 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 	}
 	initial := make([]bool, len(s.val))
 	copy(initial, s.val)
+	if s.tracer != nil {
+		s.tracer.BeginCycle(s.cycles)
+	}
 
 	// Clock edge: FFs adopt D values; then PIs change.
 	var changed []logic.NodeID
@@ -183,10 +234,16 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 			changed = append(changed, pi)
 		}
 	}
+	if s.tracer != nil {
+		for _, id := range changed {
+			s.tracer.Change(0, id, s.val[id])
+		}
+	}
 
 	// Seed events: every consumer of a changed source evaluates after its
 	// own delay.
 	s.pendingTimes = s.pendingTimes[:0]
+	s.outstanding, s.cycleHWM = 0, 0
 	for _, id := range changed {
 		for _, c := range s.nw.Node(id).Fanout() {
 			cn := s.nw.Node(c)
@@ -206,6 +263,7 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 		ids := s.pending[t]
 		delete(s.pending, t)
 		delete(s.inQueue, t)
+		s.outstanding -= len(ids)
 		for _, id := range ids {
 			n := s.nw.Node(id)
 			if n == nil || !n.Type.IsGate() {
@@ -222,6 +280,9 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 			s.val[id] = nv
 			stats.Transitions++
 			s.nodeTransitions[id]++
+			if s.tracer != nil {
+				s.tracer.Change(t, id, nv)
+			}
 			if t > stats.SettleTime {
 				stats.SettleTime = t
 			}
@@ -243,6 +304,16 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 	}
 	stats.Spurious = stats.Transitions - stats.Useful
 	s.cycles++
+	if s.tracer != nil {
+		s.tracer.EndCycle(stats.SettleTime)
+	}
+	// Registry updates happen once per cycle, never per event, so the
+	// instrumented simulator stays within noise of the seed throughput.
+	s.met.events.Add(int64(stats.Transitions))
+	s.met.spurious.Add(int64(stats.Spurious))
+	s.met.cycles.Inc()
+	s.met.queueHWM.Max(float64(s.cycleHWM))
+	s.met.settle.Observe(int64(stats.SettleTime))
 	return stats, nil
 }
 
