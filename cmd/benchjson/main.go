@@ -7,7 +7,18 @@
 //
 // Every metric pair of each benchmark line is kept — ns/op, B/op,
 // allocs/op and the custom per-table headline metrics reported by
-// bench_test.go (switch_share_pct, anneal_over_greedy, ...).
+// bench_test.go (switch_share_pct, anneal_over_greedy, ...). The benchmem
+// metrics are additionally lifted into first-class ns_per_op /
+// bytes_per_op / allocs_per_op / mb_per_s fields so downstream tooling
+// does not need to know the go-test unit strings.
+//
+// -diff compares two archived reports and gates on regressions — the CI
+// bench gate:
+//
+//	benchjson -diff -threshold 0.15 old.json new.json
+//
+// exits non-zero when any benchmark's ns/op grew by more than the
+// threshold fraction (and, with -alloc-threshold, when allocs/op did).
 package main
 
 import (
@@ -27,10 +38,18 @@ import (
 type Benchmark struct {
 	// Name is the benchmark name without the "Benchmark" prefix and
 	// without the -GOMAXPROCS suffix; FullName keeps both.
-	Name       string             `json:"name"`
-	FullName   string             `json:"full_name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string `json:"name"`
+	FullName   string `json:"full_name"`
+	Iterations int64  `json:"iterations"`
+
+	// The standard go-test metrics, lifted out of Metrics (0 when the
+	// bench run did not report them; B/op and allocs/op need -benchmem).
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // Report is the top-level JSON document.
@@ -48,7 +67,25 @@ func main() {
 	in := flag.String("in", "-", "bench output to read (- = stdin)")
 	out := flag.String("o", "", "output path (- = stdout; default BENCH_<date>.json)")
 	date := flag.String("date", "", "date stamp (default today, YYYY-MM-DD)")
+	diff := flag.Bool("diff", false, "regression mode: compare two report files (old.json new.json) instead of converting")
+	threshold := flag.Float64("threshold", 0.10, "with -diff: fail when ns/op grows by more than this fraction")
+	allocThreshold := flag.Float64("alloc-threshold", -1, "with -diff: fail when allocs/op grows by more than this fraction (<0 = don't gate allocs)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two report files, got %d args", flag.NArg()))
+		}
+		regressions, err := runDiff(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark regression(s) beyond threshold\n", regressions)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *date == "" {
 		*date = time.Now().Format("2006-01-02")
@@ -143,6 +180,16 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			continue
 		}
 		b.Metrics[fields[i+1]] = v
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		}
 	}
 	return b, true
 }

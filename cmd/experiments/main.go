@@ -3,7 +3,10 @@
 // claims. Run with -only E5 to regenerate a single table, -json for a
 // machine-readable {tables, metrics, go_version, seed} report, and
 // -metrics to collect (and, in text mode, print) the instrumentation
-// counters of the substrates that produced the tables.
+// counters of the substrates that produced the tables. -profile writes a
+// Chrome trace (one span per experiment, with row counts) plus a metrics
+// snapshot to a directory; -cpuprofile/-memprofile profile the toolkit's
+// own hot paths with runtime/pprof.
 package main
 
 import (
@@ -11,10 +14,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obsv"
+	"repro/internal/obsv/profile"
 )
 
 func main() {
@@ -23,7 +31,23 @@ func main() {
 	metrics := flag.Bool("metrics", false, "enable the obsv registry; text mode appends a metrics dump (-json always includes one)")
 	outPath := flag.String("o", "", "write the report to this file instead of stdout")
 	seed := flag.Int64("seed", 1, "workload seed recorded in the report for provenance")
+	profDir := flag.String("profile", "", "write a Chrome trace of the run (one span per experiment) and a metrics snapshot to this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -33,7 +57,7 @@ func main() {
 	}
 
 	var reg *obsv.Registry
-	if *jsonOut || *metrics {
+	if *jsonOut || *metrics || *profDir != "" {
 		reg = obsv.Enable()
 	}
 
@@ -41,13 +65,14 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
 	}
 
+	trace := &profile.Trace{Process: "experiments", Thread: "tables"}
+	runStart := time.Now()
 	matched := map[string]bool{}
 	var tables []*experiments.Table
 	failed := 0
@@ -57,12 +82,21 @@ func main() {
 			continue
 		}
 		matched[id] = true
+		span := profile.Span{Name: ex.ID, Cat: "experiment", StartNs: time.Since(runStart).Nanoseconds()}
+		exStart := time.Now()
 		tbl, err := ex.Run()
+		span.DurNs = time.Since(exStart).Nanoseconds()
+		span.Args = map[string]interface{}{}
 		if err != nil {
+			span.Args["error"] = err.Error()
+			trace.Add(span)
 			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
 			failed++
 			continue
 		}
+		span.Args["title"] = tbl.Title
+		span.Args["rows"] = len(tbl.Rows)
+		trace.Add(span)
 		tables = append(tables, tbl)
 	}
 
@@ -91,10 +125,65 @@ func main() {
 			fmt.Fprintln(out, tbl.Format())
 		}
 		if *metrics {
+			// FormatText sorts metric names, so the dump is deterministic
+			// across runs and diffable between reports.
 			fmt.Fprintf(out, "== metrics ==\n%s", reg.FormatText())
+		}
+	}
+	if *profDir != "" {
+		if err := writeRunProfile(*profDir, trace, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			failed++
 		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeRunProfile dumps the per-experiment trace spans (Chrome trace_event
+// JSON, loadable in Perfetto) and a sorted text metrics snapshot.
+func writeRunProfile(dir string, trace *profile.Trace, reg *obsv.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.txt"), []byte(reg.FormatText()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s and %s\n",
+		filepath.Join(dir, "trace.json"), filepath.Join(dir, "metrics.txt"))
+	return nil
+}
+
+// writeMemProfile dumps a heap profile (after a GC) when path is non-empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

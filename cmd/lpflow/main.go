@@ -4,13 +4,23 @@
 //
 //	lpflow -circuit mult5 -flow lowpower
 //	lpflow -blif design.blif -flow glitch -seed 7
+//	lpflow -circuit mult5 -profile prof/   # + hottest-nodes table
+//	go tool pprof -top prof/power.pb.gz
 //	lpflow -list
+//
+// With -profile the final network's power is attributed node by node
+// (estimated transition densities vs glitch-inclusive simulation side by
+// side) and exported as pprof, folded flamegraph stacks and a Chrome
+// trace of the pass pipeline; see internal/obsv/profile.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -18,6 +28,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/obsv"
+	"repro/internal/obsv/profile"
+	"repro/internal/power"
+	"repro/internal/sim"
 )
 
 var generators = map[string]func() (*logic.Network, error){
@@ -41,7 +54,24 @@ func main() {
 	list := flag.Bool("list", false, "list circuits, flows and passes")
 	out := flag.String("o", "", "write the optimized network as BLIF to this file")
 	metrics := flag.Bool("metrics", false, "print per-pass timing and substrate counters after the flow")
+	profDir := flag.String("profile", "", "write power-attribution profiles (pprof, folded stacks, pass trace) to this directory")
+	topN := flag.Int("top", 0, "print the N hottest nodes after the flow (0 = only with -profile, which defaults to 10)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the lpflow run itself to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	var reg *obsv.Registry
 	if *metrics {
@@ -79,6 +109,15 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(rep)
+	if *profDir != "" || *topN > 0 {
+		n := *topN
+		if n <= 0 {
+			n = 10
+		}
+		if err := writeProfiles(nw, ctx, rep, *profDir, n); err != nil {
+			fatal(err)
+		}
+	}
 	if *metrics {
 		fmt.Printf("metrics:\n%s", indent(reg.FormatText(), "  "))
 	}
@@ -92,6 +131,100 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// writeProfiles attributes the final network's power per node — estimated
+// transition densities and glitch-inclusive simulation side by side — and
+// prints the top-n table. With a non-empty dir it also writes power.pb.gz
+// (pprof), power.folded / power_est.folded (flamegraph stacks) and
+// trace.json (Chrome trace of the pass pipeline). The simulated attribution
+// reuses the flow's own vectors and delay model, so module subtotals sum to
+// the reported SimP.
+func writeProfiles(nw *logic.Network, ctx *core.Context, rep *core.FlowReport, dir string, topN int) error {
+	col := profile.NewCollector(nw.NumNodes())
+	simRep, _, err := power.EstimateSimulatedWith(nw, ctx.Params, ctx.CapModel, sim.UnitDelay, ctx.Vectors, col)
+	if err != nil {
+		return err
+	}
+	var estRep power.Report
+	if er, err := power.EstimateDensity(nw, ctx.Params, ctx.CapModel, nil, ctx.InputProb); err != nil {
+		fmt.Fprintf(os.Stderr, "lpflow: density estimate unavailable: %v\n", err)
+	} else {
+		estRep = er
+	}
+	prof := profile.FromReports(nw.Name, simRep, estRep, col)
+	fmt.Print(prof.FormatTop(topN))
+
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name  string
+		write func(*os.File) error
+	}{
+		{"power.pb.gz", func(f *os.File) error { return prof.WritePprof(f) }},
+		{"power.folded", func(f *os.File) error { return prof.WriteFolded(f) }},
+		{"power_est.folded", func(f *os.File) error { return prof.WriteFoldedEst(f) }},
+		{"trace.json", func(f *os.File) error { return flowTrace(rep).WriteJSON(f) }},
+	}
+	for _, w := range writers {
+		f, err := os.Create(filepath.Join(dir, w.name))
+		if err != nil {
+			return err
+		}
+		if err := w.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("profiles written to %s (try: go tool pprof -top %s)\n",
+		dir, filepath.Join(dir, "power.pb.gz"))
+	return nil
+}
+
+// flowTrace converts a flow's pass spans into a Chrome trace.
+func flowTrace(rep *core.FlowReport) *profile.Trace {
+	tr := &profile.Trace{Process: "lpflow", Thread: "flow:" + rep.Flow}
+	for _, s := range rep.Spans {
+		tr.Add(profile.Span{
+			Name:    s.Name,
+			Cat:     "pass",
+			StartNs: s.StartNs,
+			DurNs:   s.DurNs,
+			Args: map[string]interface{}{
+				"level":   s.Level,
+				"dpower":  s.DPower,
+				"dexactp": s.DExactP,
+				"dgates":  s.DGates,
+				"ddepth":  s.DDepth,
+			},
+		})
+	}
+	return tr
+}
+
+// writeMemProfile dumps a heap profile (after a GC, so live objects are
+// accurate) when path is non-empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpflow:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "lpflow:", err)
 	}
 }
 

@@ -3,6 +3,13 @@
 // and a small ALU. These stand in for the MCNC/ISCAS benchmark suites of
 // the surveyed papers — they exercise the same structural regimes
 // (carry chains, reconvergent fanout, unbalanced path delays).
+//
+// Gate names are hierarchical: dot-separated segments name the module
+// instance a gate belongs to ("fa3.s" = sum output of full-adder cell 3),
+// and the power-attribution profiler (internal/obsv/profile) aggregates
+// per-node switched capacitance along these prefixes. The names are part
+// of the generators' stable interface — renaming a module breaks recorded
+// profiles and folded-stack baselines.
 package circuits
 
 import (
@@ -33,11 +40,11 @@ func RippleAdder(n int) (*logic.Network, error) {
 	b := inputBus(nw, "b", n)
 	c := nw.MustInput("cin")
 	for i := 0; i < n; i++ {
-		axb := nw.MustGate(fmt.Sprintf("axb%d", i), logic.Xor, a[i], b[i])
-		s := nw.MustGate(fmt.Sprintf("s%d", i), logic.Xor, axb, c)
-		ab := nw.MustGate(fmt.Sprintf("ab%d", i), logic.And, a[i], b[i])
-		ac := nw.MustGate(fmt.Sprintf("cc%d", i), logic.And, axb, c)
-		c = nw.MustGate(fmt.Sprintf("co%d", i), logic.Or, ab, ac)
+		axb := nw.MustGate(fmt.Sprintf("fa%d.axb", i), logic.Xor, a[i], b[i])
+		s := nw.MustGate(fmt.Sprintf("fa%d.s", i), logic.Xor, axb, c)
+		ab := nw.MustGate(fmt.Sprintf("fa%d.ab", i), logic.And, a[i], b[i])
+		ac := nw.MustGate(fmt.Sprintf("fa%d.cc", i), logic.And, axb, c)
+		c = nw.MustGate(fmt.Sprintf("fa%d.co", i), logic.Or, ab, ac)
 		if err := nw.MarkOutput(s); err != nil {
 			return nil, err
 		}
@@ -62,8 +69,8 @@ func CLAAdder(n int) (*logic.Network, error) {
 	g := make([]logic.NodeID, n)
 	p := make([]logic.NodeID, n)
 	for i := 0; i < n; i++ {
-		g[i] = nw.MustGate(fmt.Sprintf("g%d", i), logic.And, a[i], b[i])
-		p[i] = nw.MustGate(fmt.Sprintf("p%d", i), logic.Xor, a[i], b[i])
+		g[i] = nw.MustGate(fmt.Sprintf("pg%d.g", i), logic.And, a[i], b[i])
+		p[i] = nw.MustGate(fmt.Sprintf("pg%d.p", i), logic.Xor, a[i], b[i])
 	}
 	// c[i+1] = g[i] + p[i]g[i-1] + ... + p[i]..p[0]cin
 	carries := make([]logic.NodeID, n+1)
@@ -85,14 +92,14 @@ func CLAAdder(n int) (*logic.Network, error) {
 			if len(ands) == 1 {
 				t = ands[0]
 			} else {
-				t = nw.MustGate(fmt.Sprintf("ct%d_%d", i, j), logic.And, ands...)
+				t = nw.MustGate(fmt.Sprintf("cy%d.t%d", i+1, j), logic.And, ands...)
 			}
 			terms = append(terms, t)
 		}
 		if len(terms) == 1 {
 			carries[i+1] = terms[0]
 		} else {
-			carries[i+1] = nw.MustGate(fmt.Sprintf("c%d", i+1), logic.Or, terms...)
+			carries[i+1] = nw.MustGate(fmt.Sprintf("cy%d.o", i+1), logic.Or, terms...)
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -123,7 +130,7 @@ func ArrayMultiplier(n int) (*logic.Network, error) {
 	cols := make([][]logic.NodeID, 2*n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			pp := nw.MustGate(fmt.Sprintf("pp%d_%d", i, j), logic.And, a[j], b[i])
+			pp := nw.MustGate(fmt.Sprintf("pp.p%d_%d", i, j), logic.And, a[j], b[i])
 			cols[i+j] = append(cols[i+j], pp)
 		}
 	}
@@ -135,11 +142,11 @@ func ArrayMultiplier(n int) (*logic.Network, error) {
 				cols[w] = cols[w][3:]
 				tag := fmt.Sprintf("fa%d", seq)
 				seq++
-				xy := nw.MustGate(tag+"_xy", logic.Xor, x, y)
-				s := nw.MustGate(tag+"_s", logic.Xor, xy, z)
-				t1 := nw.MustGate(tag+"_t1", logic.And, x, y)
-				t2 := nw.MustGate(tag+"_t2", logic.And, xy, z)
-				c := nw.MustGate(tag+"_c", logic.Or, t1, t2)
+				xy := nw.MustGate(tag+".xy", logic.Xor, x, y)
+				s := nw.MustGate(tag+".s", logic.Xor, xy, z)
+				t1 := nw.MustGate(tag+".t1", logic.And, x, y)
+				t2 := nw.MustGate(tag+".t2", logic.And, xy, z)
+				c := nw.MustGate(tag+".c", logic.Or, t1, t2)
 				cols[w] = append(cols[w], s)
 				cols[w+1] = append(cols[w+1], c)
 			} else {
@@ -147,8 +154,8 @@ func ArrayMultiplier(n int) (*logic.Network, error) {
 				cols[w] = cols[w][2:]
 				tag := fmt.Sprintf("ha%d", seq)
 				seq++
-				s := nw.MustGate(tag+"_s", logic.Xor, x, y)
-				c := nw.MustGate(tag+"_c", logic.And, x, y)
+				s := nw.MustGate(tag+".s", logic.Xor, x, y)
+				c := nw.MustGate(tag+".c", logic.And, x, y)
 				cols[w] = append(cols[w], s)
 				cols[w+1] = append(cols[w+1], c)
 			}
@@ -184,15 +191,15 @@ func Comparator(n int) (*logic.Network, error) {
 	d := inputBus(nw, "d", n)
 	var acc logic.NodeID // "C > D considering bits below i"
 	for i := 0; i < n; i++ {
-		nd := nw.MustGate(fmt.Sprintf("nd%d", i), logic.Not, d[i])
-		gt := nw.MustGate(fmt.Sprintf("gt%d", i), logic.And, c[i], nd)
+		nd := nw.MustGate(fmt.Sprintf("bit%d.nd", i), logic.Not, d[i])
+		gt := nw.MustGate(fmt.Sprintf("bit%d.gt", i), logic.And, c[i], nd)
 		if i == 0 {
 			acc = gt
 			continue
 		}
-		eq := nw.MustGate(fmt.Sprintf("eq%d", i), logic.Xnor, c[i], d[i])
-		keep := nw.MustGate(fmt.Sprintf("kp%d", i), logic.And, eq, acc)
-		acc = nw.MustGate(fmt.Sprintf("acc%d", i), logic.Or, gt, keep)
+		eq := nw.MustGate(fmt.Sprintf("bit%d.eq", i), logic.Xnor, c[i], d[i])
+		keep := nw.MustGate(fmt.Sprintf("bit%d.kp", i), logic.And, eq, acc)
+		acc = nw.MustGate(fmt.Sprintf("bit%d.acc", i), logic.Or, gt, keep)
 	}
 	if err := nw.MarkOutput(acc); err != nil {
 		return nil, err
@@ -211,7 +218,7 @@ func ParityTree(n int) (*logic.Network, error) {
 	for len(layer) > 1 {
 		var next []logic.NodeID
 		for i := 0; i+1 < len(layer); i += 2 {
-			next = append(next, nw.MustGate(fmt.Sprintf("p%d_%d", lvl, i/2), logic.Xor, layer[i], layer[i+1]))
+			next = append(next, nw.MustGate(fmt.Sprintf("lvl%d.p%d", lvl, i/2), logic.Xor, layer[i], layer[i+1]))
 		}
 		if len(layer)%2 == 1 {
 			next = append(next, layer[len(layer)-1])
@@ -288,29 +295,29 @@ func ALU(n int) (*logic.Network, error) {
 	b := inputBus(nw, "b", n)
 	op0 := nw.MustInput("op0")
 	op1 := nw.MustInput("op1")
-	nop0 := nw.MustGate("nop0", logic.Not, op0)
-	nop1 := nw.MustGate("nop1", logic.Not, op1)
-	selAnd := nw.MustGate("selAnd", logic.And, nop1, nop0)
-	selOr := nw.MustGate("selOr", logic.And, nop1, op0)
-	selXor := nw.MustGate("selXor", logic.And, op1, nop0)
-	selAdd := nw.MustGate("selAdd", logic.And, op1, op0)
+	nop0 := nw.MustGate("dec.nop0", logic.Not, op0)
+	nop1 := nw.MustGate("dec.nop1", logic.Not, op1)
+	selAnd := nw.MustGate("dec.selAnd", logic.And, nop1, nop0)
+	selOr := nw.MustGate("dec.selOr", logic.And, nop1, op0)
+	selXor := nw.MustGate("dec.selXor", logic.And, op1, nop0)
+	selAdd := nw.MustGate("dec.selAdd", logic.And, op1, op0)
 	// Carry chain seeded at constant 0.
 	carry, err := nw.AddConst("zero", false)
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
-		andI := nw.MustGate(fmt.Sprintf("and%d", i), logic.And, a[i], b[i])
-		orI := nw.MustGate(fmt.Sprintf("or%d", i), logic.Or, a[i], b[i])
-		xorI := nw.MustGate(fmt.Sprintf("xor%d", i), logic.Xor, a[i], b[i])
-		sumI := nw.MustGate(fmt.Sprintf("sum%d", i), logic.Xor, xorI, carry)
-		cI := nw.MustGate(fmt.Sprintf("cnd%d", i), logic.And, xorI, carry)
-		carry = nw.MustGate(fmt.Sprintf("cy%d", i), logic.Or, andI, cI)
-		t0 := nw.MustGate(fmt.Sprintf("m0_%d", i), logic.And, selAnd, andI)
-		t1 := nw.MustGate(fmt.Sprintf("m1_%d", i), logic.And, selOr, orI)
-		t2 := nw.MustGate(fmt.Sprintf("m2_%d", i), logic.And, selXor, xorI)
-		t3 := nw.MustGate(fmt.Sprintf("m3_%d", i), logic.And, selAdd, sumI)
-		y := nw.MustGate(fmt.Sprintf("f%d", i), logic.Or, t0, t1, t2, t3)
+		andI := nw.MustGate(fmt.Sprintf("bit%d.and", i), logic.And, a[i], b[i])
+		orI := nw.MustGate(fmt.Sprintf("bit%d.or", i), logic.Or, a[i], b[i])
+		xorI := nw.MustGate(fmt.Sprintf("bit%d.xor", i), logic.Xor, a[i], b[i])
+		sumI := nw.MustGate(fmt.Sprintf("bit%d.sum", i), logic.Xor, xorI, carry)
+		cI := nw.MustGate(fmt.Sprintf("bit%d.cnd", i), logic.And, xorI, carry)
+		carry = nw.MustGate(fmt.Sprintf("bit%d.cy", i), logic.Or, andI, cI)
+		t0 := nw.MustGate(fmt.Sprintf("bit%d.m0", i), logic.And, selAnd, andI)
+		t1 := nw.MustGate(fmt.Sprintf("bit%d.m1", i), logic.And, selOr, orI)
+		t2 := nw.MustGate(fmt.Sprintf("bit%d.m2", i), logic.And, selXor, xorI)
+		t3 := nw.MustGate(fmt.Sprintf("bit%d.m3", i), logic.And, selAdd, sumI)
+		y := nw.MustGate(fmt.Sprintf("bit%d.f", i), logic.Or, t0, t1, t2, t3)
 		if err := nw.MarkOutput(y); err != nil {
 			return nil, err
 		}
@@ -333,12 +340,12 @@ func MuxTree(k int) (*logic.Network, error) {
 	s := inputBus(nw, "s", k)
 	layer := d
 	for lvl := 0; lvl < k; lvl++ {
-		ns := nw.MustGate(fmt.Sprintf("ns%d", lvl), logic.Not, s[lvl])
+		ns := nw.MustGate(fmt.Sprintf("lvl%d.ns", lvl), logic.Not, s[lvl])
 		var next []logic.NodeID
 		for i := 0; i+1 < len(layer); i += 2 {
-			t0 := nw.MustGate(fmt.Sprintf("l%d_a%d", lvl, i), logic.And, ns, layer[i])
-			t1 := nw.MustGate(fmt.Sprintf("l%d_b%d", lvl, i), logic.And, s[lvl], layer[i+1])
-			next = append(next, nw.MustGate(fmt.Sprintf("l%d_o%d", lvl, i), logic.Or, t0, t1))
+			t0 := nw.MustGate(fmt.Sprintf("lvl%d.a%d", lvl, i), logic.And, ns, layer[i])
+			t1 := nw.MustGate(fmt.Sprintf("lvl%d.b%d", lvl, i), logic.And, s[lvl], layer[i+1])
+			next = append(next, nw.MustGate(fmt.Sprintf("lvl%d.o%d", lvl, i), logic.Or, t0, t1))
 		}
 		layer = next
 	}

@@ -265,3 +265,39 @@ func TestAllGeneratorsPassCheck(t *testing.T) {
 		}
 	}
 }
+
+// The dot-separated module prefixes in generator gate names are a stable
+// interface: internal/obsv/profile aggregates switched capacitance along
+// them, so a silent rename would corrupt recorded attribution profiles.
+func TestHierarchicalNamesStable(t *testing.T) {
+	cases := []struct {
+		gen   func() (*logic.Network, error)
+		names []string
+	}{
+		{func() (*logic.Network, error) { return RippleAdder(4) },
+			[]string{"fa0.axb", "fa0.s", "fa0.ab", "fa0.cc", "fa0.co", "fa3.s"}},
+		{func() (*logic.Network, error) { return CLAAdder(4) },
+			[]string{"pg0.g", "pg0.p", "cy2.t0", "cy2.o", "s0"}},
+		{func() (*logic.Network, error) { return ArrayMultiplier(3) },
+			[]string{"pp.p0_0", "pp.p2_2", "fa1.xy", "fa1.s", "fa1.c", "ha0.s"}},
+		{func() (*logic.Network, error) { return Comparator(3) },
+			[]string{"bit0.nd", "bit0.gt", "bit1.eq", "bit1.kp", "bit2.acc"}},
+		{func() (*logic.Network, error) { return ParityTree(8) },
+			[]string{"lvl0.p0", "lvl1.p1", "lvl2.p0"}},
+		{func() (*logic.Network, error) { return ALU(2) },
+			[]string{"dec.selAdd", "bit0.and", "bit0.sum", "bit1.f", "cout"}},
+		{func() (*logic.Network, error) { return MuxTree(2) },
+			[]string{"lvl0.ns", "lvl0.a0", "lvl1.o0"}},
+	}
+	for _, c := range cases {
+		nw, err := c.gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range c.names {
+			if nw.ByName(name) == logic.InvalidNode {
+				t.Errorf("%s: expected stable node name %q missing", nw.Name, name)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/balance"
 	"repro/internal/dontcare"
@@ -191,10 +192,28 @@ func StandardFlows() map[string]Flow {
 	}
 }
 
+// PassSpan is the timing + outcome record of one pass execution inside a
+// flow — the raw material of the Chrome trace export (profile.Trace). The
+// deltas are after-minus-before, so a power-reducing pass has negative
+// DPower.
+type PassSpan struct {
+	Name    string
+	Level   string // survey abstraction level of the pass
+	StartNs int64  // offset from the start of the flow run
+	DurNs   int64
+	DPower  float64 // simulated (glitch-inclusive) power delta
+	DExactP float64 // zero-delay probabilistic power delta
+	DGates  int
+	DDepth  int
+}
+
 // FlowReport records the trajectory of one flow run.
 type FlowReport struct {
 	Flow  string
 	Steps []Snapshot
+	// Spans has one entry per executed pass (pass run time only; the
+	// before/after power measurements are excluded from DurNs).
+	Spans []PassSpan
 }
 
 // Initial and Final expose the first and last snapshots.
@@ -233,13 +252,17 @@ func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
 		golden = nw.Clone()
 	}
 	obs := obsv.Default()
+	flowStart := time.Now()
 	for _, name := range flow.Passes {
 		p, ok := reg[name]
 		if !ok {
 			return nil, fmt.Errorf("core: unknown pass %q in flow %q", name, flow.Name)
 		}
+		span := PassSpan{Name: name, Level: p.Level, StartNs: time.Since(flowStart).Nanoseconds()}
 		stop := obs.Timer("lpflow.pass." + name + ".ns").Start()
+		passStart := time.Now()
 		err := p.Run(nw, ctx)
+		span.DurNs = time.Since(passStart).Nanoseconds()
 		stop()
 		if err != nil {
 			return nil, fmt.Errorf("core: pass %q: %w", name, err)
@@ -264,8 +287,13 @@ func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
 		rep.Steps = append(rep.Steps, snap)
 		// Before/after deltas per pass: negative dpower means the pass
 		// reduced simulated (glitch-inclusive) power.
-		obs.Gauge("lpflow.pass." + name + ".dpower").Set(snap.SimP - prev.SimP)
-		obs.Gauge("lpflow.pass." + name + ".dgates").Set(float64(snap.Gates - prev.Gates))
+		span.DPower = snap.SimP - prev.SimP
+		span.DExactP = snap.ExactP - prev.ExactP
+		span.DGates = snap.Gates - prev.Gates
+		span.DDepth = snap.Depth - prev.Depth
+		rep.Spans = append(rep.Spans, span)
+		obs.Gauge("lpflow.pass." + name + ".dpower").Set(span.DPower)
+		obs.Gauge("lpflow.pass." + name + ".dgates").Set(float64(span.DGates))
 	}
 	return rep, nil
 }

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -153,5 +154,36 @@ func TestEnableDisable(t *testing.T) {
 	Disable()
 	if Default() != nil {
 		t.Error("Default should be nil after Disable")
+	}
+}
+
+// -metrics output is diffed between runs and archived in reports: the
+// snapshot must serialize identically regardless of registry insertion or
+// map-iteration order.
+func TestFormatTextDeterministic(t *testing.T) {
+	build := func(names []string) *Registry {
+		r := NewRegistry()
+		for _, n := range names {
+			v := int64(len(n))
+			r.Counter("c." + n).Add(v)
+			r.Gauge("g." + n).Set(float64(v) * 1.5)
+			r.Timer("t." + n).Observe(time.Duration(v) * time.Millisecond)
+			r.Histogram("h." + n).Observe(v * 10)
+		}
+		return r
+	}
+	names := []string{"zeta", "alpha", "mid"}
+	rev := []string{"mid", "alpha", "zeta"}
+	a, b := build(names).FormatText(), build(rev).FormatText()
+	if a != b {
+		t.Errorf("FormatText depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	for i := 1; i < len(lines); i++ {
+		ni := strings.Fields(lines[i])[0]
+		np := strings.Fields(lines[i-1])[0]
+		if ni < np {
+			t.Errorf("FormatText lines not sorted: %q after %q", ni, np)
+		}
 	}
 }

@@ -1,0 +1,50 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFolded emits the attribution as folded stack lines —
+// "circuit;module;node value" — the input format of flamegraph.pl,
+// inferno and speedscope. The value is the measured switched capacitance
+// in micro-units per cycle (integers, as the tools expect); zero-valued
+// nodes are skipped. Lines are sorted, so identical profiles serialize
+// identically.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	return p.writeFolded(w, func(e Entry) int64 { return scale(e.SimSwitchedCap()) })
+}
+
+// WriteFoldedEst is WriteFolded over the estimated (transition-density)
+// attribution — diffing the two flamegraphs highlights glitch hotspots.
+func (p *Profile) WriteFoldedEst(w io.Writer) error {
+	return p.writeFolded(w, func(e Entry) int64 { return scale(e.EstSwitchedCap()) })
+}
+
+func (p *Profile) writeFolded(w io.Writer, value func(Entry) int64) error {
+	root := p.Circuit
+	if root == "" {
+		root = "circuit"
+	}
+	lines := make([]string, 0, len(p.Entries))
+	for _, e := range p.Entries {
+		v := value(e)
+		if v <= 0 {
+			continue
+		}
+		frames := append([]string{root}, modulePath(e.Module)...)
+		frames = append(frames, e.Name)
+		lines = append(lines, fmt.Sprintf("%s %d", strings.Join(frames, ";"), v))
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+	"math"
+)
+
+// WritePprof emits the profile in pprof's gzipped profile.proto format,
+// readable with `go tool pprof -top/-web/-flame power.pb.gz`. Each node
+// becomes one sample whose stack is its hierarchy chain (circuit → module →
+// node, leaf first in the location list, as pprof expects), with four
+// sample values:
+//
+//	switched_cap_sim  measured activity × capacitance (micro-units/cycle)
+//	switched_cap_est  estimated activity × capacitance (micro-units/cycle)
+//	power_sim         measured Eqn. 1 node power (micro-units)
+//	power_est         estimated Eqn. 1 node power (micro-units)
+//
+// Values are scaled by 1e6 and rounded to integers (pprof sample values are
+// int64); the default sample type is switched_cap_sim. The output contains
+// no timestamps, so identical profiles encode byte-identically.
+func (p *Profile) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.encodePprof()); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// scale converts a float attribution value to pprof's int64 micro-units.
+func scale(v float64) int64 { return int64(math.Round(v * 1e6)) }
+
+func (p *Profile) encodePprof() []byte {
+	var out pbuf
+
+	// String table: index 0 must be "".
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	sampleTypes := [][2]string{
+		{"switched_cap_sim", "microcap"},
+		{"switched_cap_est", "microcap"},
+		{"power_sim", "micropower"},
+		{"power_est", "micropower"},
+	}
+	for _, st := range sampleTypes {
+		var vt pbuf
+		vt.varintField(1, uint64(intern(st[0])))
+		vt.varintField(2, uint64(intern(st[1])))
+		out.bytesField(1, vt.b) // sample_type
+	}
+
+	root := p.Circuit
+	if root == "" {
+		root = "circuit"
+	}
+
+	// One function+location per unique frame name. Leaf frames use the full
+	// node name so `pprof -top` (which flattens by function name) lists
+	// individual circuit nodes; module frames use the module prefix.
+	locID := map[string]uint64{}
+	var funcs, locs pbuf
+	locOf := func(frame string) uint64 {
+		if id, ok := locID[frame]; ok {
+			return id
+		}
+		id := uint64(len(locID) + 1)
+		locID[frame] = id
+		var fn pbuf
+		fn.varintField(1, id)
+		fn.varintField(2, uint64(intern(frame)))
+		fn.varintField(3, uint64(intern(frame)))
+		fn.varintField(4, uint64(intern(root+".netlist")))
+		funcs.bytesField(5, fn.b) // function
+		var line pbuf
+		line.varintField(1, id)
+		var loc pbuf
+		loc.varintField(1, id)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b) // location
+		return id
+	}
+
+	var samples pbuf
+	for _, e := range p.Entries {
+		// Stack, leaf first: node, then enclosing modules innermost-out,
+		// then the circuit root.
+		ids := []uint64{locOf(e.Name)}
+		path := modulePath(e.Module)
+		for i := len(path) - 1; i >= 0; i-- {
+			ids = append(ids, locOf(path[i]))
+		}
+		ids = append(ids, locOf(root))
+
+		var s pbuf
+		s.packedVarints(1, ids)
+		s.packedVarints(2, []uint64{
+			uint64(scale(e.SimSwitchedCap())),
+			uint64(scale(e.EstSwitchedCap())),
+			uint64(scale(e.SimPower)),
+			uint64(scale(e.EstPower)),
+		})
+		samples.bytesField(2, s.b) // sample
+	}
+
+	// period: one simulated cycle per sample period. Intern everything
+	// before dumping the string table — an index past the table's end is an
+	// invalid profile.
+	var pt pbuf
+	pt.varintField(1, uint64(intern("cycle")))
+	pt.varintField(2, uint64(intern("count")))
+	defaultType := uint64(intern("switched_cap_sim"))
+
+	out.b = append(out.b, samples.b...)
+	out.b = append(out.b, locs.b...)
+	out.b = append(out.b, funcs.b...)
+	for _, s := range strs {
+		out.stringField(6, s)
+	}
+	out.bytesField(11, pt.b)
+	out.varintField(12, 1)
+	out.varintField(14, defaultType)
+	return out.b
+}
+
+// pbuf is a minimal protobuf wire-format writer — enough of proto3 encoding
+// (varints, length-delimited fields, packed repeated varints) to emit
+// profile.proto without a protobuf dependency.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) key(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *pbuf) varintField(field int, v uint64) {
+	if v == 0 {
+		return // proto3 default
+	}
+	p.key(field, 0)
+	p.varint(v)
+}
+
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.key(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.key(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+func (p *pbuf) packedVarints(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var tmp pbuf
+	for _, v := range vs {
+		tmp.varint(v)
+	}
+	p.bytesField(field, tmp.b)
+}

@@ -1,0 +1,70 @@
+package profile_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obsv/profile"
+)
+
+func TestTraceJSONSpansAndMetadata(t *testing.T) {
+	tr := &profile.Trace{Process: "lpflow", Thread: "flow:lowpower"}
+	tr.Add(profile.Span{
+		Name: "strash", Cat: "pass", StartNs: 1500, DurNs: 2500,
+		Args: map[string]interface{}{"dpower": -12.5, "dgates": -3},
+	})
+	tr.Add(profile.Span{Name: "balance", Cat: "pass", StartNs: 9000, DurNs: 4000,
+		Args: map[string]interface{}{"dpower": -80.0, "dgates": 40}})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Cat  string                 `json:"cat"`
+			Ph   string                 `json:"ph"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Pid  int                    `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Args["dpower"] == nil {
+				t.Errorf("span %q missing dpower annotation", ev.Name)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 {
+		t.Errorf("got %d complete spans, want 2", complete)
+	}
+	if meta != 2 {
+		t.Errorf("got %d metadata events, want 2 (process_name, thread_name)", meta)
+	}
+	// ts/dur are microseconds.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "strash" && (ev.Ts != 1.5 || ev.Dur != 2.5) {
+			t.Errorf("strash span ts=%v dur=%v, want 1.5/2.5 us", ev.Ts, ev.Dur)
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := tr.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("trace JSON not deterministic")
+	}
+}

@@ -199,9 +199,22 @@ func EstimatePropagated(nw *logic.Network, p Params, cm CapModel, inputProb Prob
 // zero-delay estimators miss. It returns the report and the simulation
 // totals.
 func EstimateSimulated(nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool) (Report, sim.Totals, error) {
+	return EstimateSimulatedWith(nw, p, cm, dm, vectors, nil)
+}
+
+// EstimateSimulatedWith is EstimateSimulated with a sim.Tracer attached to
+// the internal simulator for the duration of the run. The power-attribution
+// profiler (internal/obsv/profile) uses this to observe every transition —
+// including the glitch pulses — of exactly the run whose total the report
+// states, so per-node attribution sums to the reported power by
+// construction.
+func EstimateSimulatedWith(nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool, tracer sim.Tracer) (Report, sim.Totals, error) {
 	s, err := sim.New(nw, dm)
 	if err != nil {
 		return Report{}, sim.Totals{}, err
+	}
+	if tracer != nil {
+		s.SetTracer(tracer)
 	}
 	tot, err := s.Run(vectors)
 	if err != nil {

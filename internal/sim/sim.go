@@ -376,6 +376,20 @@ func (s *Simulator) UsefulActivity(id logic.NodeID) float64 {
 	return float64(s.nodeUseful[id]) / float64(s.cycles)
 }
 
+// Transitions returns the raw transition count recorded on a node's output
+// net since the last Reset (glitches included).
+func (s *Simulator) Transitions(id logic.NodeID) int64 { return s.nodeTransitions[id] }
+
+// UsefulTransitions returns the zero-delay (functional) transition count of
+// a node since the last Reset.
+func (s *Simulator) UsefulTransitions(id logic.NodeID) int64 { return s.nodeUseful[id] }
+
+// SpuriousActivity returns the glitch component of a node's activity:
+// transitions per cycle beyond the zero-delay requirement.
+func (s *Simulator) SpuriousActivity(id logic.NodeID) float64 {
+	return s.Activity(id) - s.UsefulActivity(id)
+}
+
 // ActivityProfile returns the per-node activity for every live node, in a
 // map. Source nodes (PIs, FFs) have zero recorded activity; their toggles
 // are driven externally.
