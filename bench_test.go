@@ -452,3 +452,73 @@ func BenchmarkAblationDecomposition(b *testing.B) {
 	}
 	b.ReportMetric(ratio, "balanced_over_leftdeep_power")
 }
+
+// BenchmarkSimPackedVsScalar pits the bit-parallel packed engine against
+// the scalar zero-delay path on a 1064-gate array multiplier at 4096
+// vectors. Both compute identical per-node transition counts; the packed
+// engine evaluates 64 vectors per word, so the target is a >=10x speedup
+// (compare the two sub-benchmarks' ns/op).
+func BenchmarkSimPackedVsScalar(b *testing.B) {
+	nw, err := circuits.ArrayMultiplier(14) // 1064 gates
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	vecs := sim.RandomVectors(r, 4096, len(nw.PIs()), 0.5)
+
+	b.Run("scalar", func(b *testing.B) {
+		st := logic.NewState(nw)
+		prev := make([]bool, nw.NumNodes())
+		count := make([]int64, nw.NumNodes())
+		gates := nw.Gates()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vecs {
+				if _, err := st.Step(v); err != nil {
+					b.Fatal(err)
+				}
+				for _, id := range gates {
+					if got := st.Value(id); got != prev[id] {
+						count[id]++
+						prev[id] = got
+					}
+				}
+			}
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		ps, err := sim.NewPacked(nw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ps.Run(vecs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMonteCarloParallel measures the sharded event-driven power
+// estimation (power.EstimateSimulatedParallel) at several worker counts.
+// Reports are bit-identical across sub-benchmarks; only wall clock may
+// differ, and only when GOMAXPROCS > 1.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	nw, err := circuits.ArrayMultiplier(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	vecs := sim.RandomVectors(r, 512, len(nw.PIs()), 0.5)
+	p := power.DefaultParams()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers"+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := power.EstimateSimulatedParallel(nw, p, nil, sim.UnitDelay, vecs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

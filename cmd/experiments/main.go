@@ -18,7 +18,6 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obsv"
@@ -27,6 +26,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E5,E13); empty = all")
+	parallel := flag.Int("parallel", 0, "experiment tables generated concurrently (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
 	jsonOut := flag.Bool("json", false, "emit a JSON report {tables, metrics, go_version, seed} instead of text tables")
 	metrics := flag.Bool("metrics", false, "enable the obsv registry; text mode appends a metrics dump (-json always includes one)")
 	outPath := flag.String("o", "", "write the report to this file instead of stdout")
@@ -72,32 +72,36 @@ func main() {
 	}
 
 	trace := &profile.Trace{Process: "experiments", Thread: "tables"}
-	runStart := time.Now()
 	matched := map[string]bool{}
-	var tables []*experiments.Table
-	failed := 0
+	var selected []experiments.Experiment
 	for _, ex := range experiments.All() {
 		id := strings.ToUpper(ex.ID)
 		if len(want) > 0 && !want[id] {
 			continue
 		}
 		matched[id] = true
-		span := profile.Span{Name: ex.ID, Cat: "experiment", StartNs: time.Since(runStart).Nanoseconds()}
-		exStart := time.Now()
-		tbl, err := ex.Run()
-		span.DurNs = time.Since(exStart).Nanoseconds()
+		selected = append(selected, ex)
+	}
+
+	// Independent tables run concurrently on a bounded pool; results come
+	// back in E-number order with per-table span timings, so the emitted
+	// report and trace are deterministic for any -parallel value.
+	var tables []*experiments.Table
+	failed := 0
+	for _, res := range experiments.RunAll(selected, *parallel) {
+		span := profile.Span{Name: res.ID, Cat: "experiment", StartNs: res.StartNs, DurNs: res.DurNs}
 		span.Args = map[string]interface{}{}
-		if err != nil {
-			span.Args["error"] = err.Error()
+		if res.Err != nil {
+			span.Args["error"] = res.Err.Error()
 			trace.Add(span)
-			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", res.ID, res.Err)
 			failed++
 			continue
 		}
-		span.Args["title"] = tbl.Title
-		span.Args["rows"] = len(tbl.Rows)
+		span.Args["title"] = res.Table.Title
+		span.Args["rows"] = len(res.Table.Rows)
 		trace.Add(span)
-		tables = append(tables, tbl)
+		tables = append(tables, res.Table)
 	}
 
 	// A requested ID that matched nothing is an error, not silence.

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result is one experiment's outcome from a RunAll pass: the table (or
+// error) plus wall-clock span timings relative to the run start, ready
+// for the Chrome trace export.
+type Result struct {
+	Index   int
+	ID      string
+	Table   *Table
+	Err     error
+	StartNs int64
+	DurNs   int64
+}
+
+// RunAll executes the experiments on a bounded worker pool and returns
+// one Result per experiment, in input order. parallel <= 0 uses
+// GOMAXPROCS; parallel == 1 is fully sequential.
+//
+// Tables are identical for every worker count: each experiment generator
+// seeds its own rand sources and shares no mutable state with the others,
+// and the obsv registry (the only cross-experiment sink) uses atomic
+// counters, so the aggregate metrics are also scheduling-independent.
+func RunAll(list []Experiment, parallel int) []Result {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(list) {
+		parallel = len(list)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	results := make([]Result, len(list))
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	for i, ex := range list {
+		wg.Add(1)
+		go func(i int, ex Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := Result{Index: i, ID: ex.ID, StartNs: time.Since(start).Nanoseconds()}
+			exStart := time.Now()
+			res.Table, res.Err = ex.Run()
+			res.DurNs = time.Since(exStart).Nanoseconds()
+			results[i] = res
+		}(i, ex)
+	}
+	wg.Wait()
+	return results
+}

@@ -12,6 +12,7 @@ package logic
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType identifies the function a node computes.
@@ -125,6 +126,18 @@ type Network struct {
 	pis []NodeID // primary inputs, in declaration order
 	pos []NodeID // nodes whose values are primary outputs
 	ffs []NodeID // DFF nodes
+
+	// Topological-order cache. Deriving the levelized schedule is O(V+E)
+	// and every simulation, probability propagation and estimation pass
+	// asks for it; repeated simulations of an unchanged network (the
+	// Monte Carlo hot path) would otherwise re-derive it per call. The
+	// cache is invalidated by every structural mutation and filled
+	// lazily under topoMu, so concurrent read-only users (the sharded
+	// simulator workers) can all call TopoOrder safely.
+	topoMu    sync.Mutex
+	topoCache []NodeID
+	topoErr   error
+	topoValid bool
 }
 
 // New returns an empty network with the given name.
@@ -190,6 +203,7 @@ func (nw *Network) addNode(name string, t GateType, fanin []NodeID) (NodeID, err
 	id := NodeID(len(nw.nodes))
 	n := &Node{ID: id, Name: name, Type: t, Fanin: append([]NodeID(nil), fanin...)}
 	nw.nodes = append(nw.nodes, n)
+	nw.invalidateTopo()
 	nw.byName[name] = id
 	for _, f := range fanin {
 		fn := nw.nodes[f]
@@ -300,6 +314,7 @@ func (nw *Network) ReplaceFanin(id, old, new NodeID) error {
 	on.fanout = removeID(on.fanout, id)
 	nn := nw.nodes[new]
 	nn.fanout = append(nn.fanout, id)
+	nw.invalidateTopo()
 	return nil
 }
 
@@ -356,6 +371,7 @@ func (nw *Network) DeleteNode(id NodeID) error {
 	n.dead = true
 	n.Fanin = nil
 	delete(nw.byName, n.Name)
+	nw.invalidateTopo()
 	switch n.Type {
 	case Input:
 		nw.pis = removeID(nw.pis, id)
@@ -400,11 +416,39 @@ func (nw *Network) Live() []NodeID {
 // NumGates returns the number of live combinational gates.
 func (nw *Network) NumGates() int { return len(nw.Gates()) }
 
+// invalidateTopo drops the cached topological order. Called by every
+// structural mutation; mutations must not race with readers (the Network
+// is not concurrency-safe for writes), so no lock is needed here beyond
+// the cache's own.
+func (nw *Network) invalidateTopo() {
+	nw.topoMu.Lock()
+	nw.topoValid = false
+	nw.topoCache = nil
+	nw.topoErr = nil
+	nw.topoMu.Unlock()
+}
+
 // TopoOrder returns the live combinational nodes (gates and constants) in
 // topological order. Inputs and DFF outputs are sources and are not
 // included. The order is deterministic. It returns an error if the
 // combinational part contains a cycle.
+//
+// The result is cached until the next structural mutation; the returned
+// slice is owned by the network and must not be modified. Concurrent
+// calls on an unchanging network are safe (read-only sharing).
 func (nw *Network) TopoOrder() ([]NodeID, error) {
+	nw.topoMu.Lock()
+	defer nw.topoMu.Unlock()
+	if nw.topoValid {
+		return nw.topoCache, nw.topoErr
+	}
+	order, err := nw.topoOrder()
+	nw.topoCache, nw.topoErr, nw.topoValid = order, err, true
+	return order, err
+}
+
+// topoOrder derives the order from scratch (Kahn's algorithm).
+func (nw *Network) topoOrder() ([]NodeID, error) {
 	indeg := make([]int, len(nw.nodes))
 	var ready []NodeID
 	total := 0

@@ -1,0 +1,110 @@
+package logic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTopoOrderCached: repeated calls return the cached slice without
+// recomputation, and every structural mutation invalidates it.
+func TestTopoOrderCached(t *testing.T) {
+	nw := New("c")
+	a := nw.MustInput("a")
+	b := nw.MustInput("b")
+	g1 := nw.MustGate("g1", And, a, b)
+	g2 := nw.MustGate("g2", Not, g1)
+	if err := nw.MarkOutput(g2); err != nil {
+		t.Fatal(err)
+	}
+
+	o1, err := nw.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := nw.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &o1[0] != &o2[0] {
+		t.Error("second TopoOrder call did not return the cached slice")
+	}
+
+	// Adding a node must invalidate and the new order must include it.
+	g3 := nw.MustGate("g3", Or, g1, g2)
+	if err := nw.MarkOutput(g3); err != nil {
+		t.Fatal(err)
+	}
+	o3, err := nw.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range o3 {
+		if id == g3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("order computed after AddGate is stale")
+	}
+
+	// Rewiring must invalidate: g2 now depends on g3, so g3 must come
+	// first in the refreshed order.
+	if err := nw.ReplaceFanin(g3, g2, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.ReplaceFanin(g2, g1, g3); err != nil {
+		t.Fatal(err)
+	}
+	o4, err := nw.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NodeID]int{}
+	for i, id := range o4 {
+		pos[id] = i
+	}
+	if pos[g3] > pos[g2] {
+		t.Errorf("stale order after ReplaceFanin: g3 at %d, g2 at %d", pos[g3], pos[g2])
+	}
+
+	// A clone starts with its own cold cache and must not alias the
+	// original's cached slice.
+	cl := nw.Clone()
+	oc, err := cl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oc) > 0 && len(o4) > 0 && &oc[0] == &o4[0] {
+		t.Error("clone shares the original's topo cache")
+	}
+}
+
+// TestTopoOrderConcurrentReaders: many goroutines may race the first
+// (cache-filling) call; run under -race this guards the mutex path.
+func TestTopoOrderConcurrentReaders(t *testing.T) {
+	nw := New("r")
+	a := nw.MustInput("a")
+	prev := a
+	for i := 0; i < 50; i++ {
+		prev = nw.MustGate(fmt.Sprintf("g%d", i), Not, prev)
+	}
+	if err := nw.MarkOutput(prev); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := nw.TopoOrder(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,112 @@
+package power
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/logic"
+)
+
+// ShardSeed derives the PRNG seed of shard i from a caller seed with a
+// splitmix64 step, so shard streams are decorrelated but fully determined
+// by (seed, i). Exported because cmd-level tools that fan Monte Carlo
+// work out themselves must derive shard seeds the same way to reproduce
+// reports.
+func ShardSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SequentialProbabilitiesSharded is the parallel Monte Carlo form of
+// SequentialProbabilities: the warm-up budget is split into shards
+// independent simulation streams, each with a PRNG seeded by
+// ShardSeed(seed, i), and the flip-flop one-counts are merged in shard
+// order. The result depends only on (nw, seed, cycles, shards, piProb) —
+// never on GOMAXPROCS or goroutine scheduling — so a report produced with
+// one worker is byte-identical to one produced with many. Shard count is
+// part of the estimator's identity: different shard counts are different
+// (equally valid) estimates of the same stationary probabilities.
+//
+// shards <= 1 reproduces SequentialProbabilities(nw,
+// rand.New(rand.NewSource(ShardSeed(seed, 0))), cycles, piProb) exactly.
+func SequentialProbabilitiesSharded(nw *logic.Network, seed int64, cycles, shards int, piProb float64) (Probabilities, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cycles {
+		shards = cycles
+	}
+	if shards <= 1 {
+		return SequentialProbabilities(nw, rand.New(rand.NewSource(ShardSeed(seed, 0))), cycles, piProb)
+	}
+
+	type shardResult struct {
+		ones   map[logic.NodeID]int
+		cycles int
+		err    error
+	}
+	results := make([]shardResult, shards)
+	base, rem := cycles/shards, cycles%shards
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < shards; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := rand.New(rand.NewSource(ShardSeed(seed, i)))
+			st := logic.NewState(nw)
+			ones := make(map[logic.NodeID]int)
+			in := make([]bool, len(nw.PIs()))
+			for c := 0; c < n; c++ {
+				for j := range in {
+					in[j] = r.Float64() < piProb
+				}
+				if _, err := st.Step(in); err != nil {
+					results[i] = shardResult{err: err}
+					return
+				}
+				for _, f := range nw.FFs() {
+					if st.Value(f) {
+						ones[f]++
+					}
+				}
+			}
+			results[i] = shardResult{ones: ones, cycles: n}
+		}(i, n)
+	}
+	wg.Wait()
+
+	total := 0
+	ones := make(map[logic.NodeID]int)
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		total += res.cycles
+		for f, n := range res.ones {
+			ones[f] += n
+		}
+	}
+	out := make(Probabilities)
+	for _, pi := range nw.PIs() {
+		out[pi] = piProb
+	}
+	for _, f := range nw.FFs() {
+		if total > 0 {
+			out[f] = float64(ones[f]) / float64(total)
+		} else {
+			out[f] = 0.5
+		}
+	}
+	return out, nil
+}

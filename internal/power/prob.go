@@ -197,9 +197,82 @@ func EstimatePropagated(nw *logic.Network, p Params, cm CapModel, inputProb Prob
 // EstimateSimulated produces an Eqn. 1 report from measured event-driven
 // activity over the supplied vectors, capturing glitch power that the
 // zero-delay estimators miss. It returns the report and the simulation
-// totals.
+// totals. The simulation is sharded across GOMAXPROCS workers; results
+// are bit-identical to a sequential run (see sim.MeasureRun).
 func EstimateSimulated(nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool) (Report, sim.Totals, error) {
-	return EstimateSimulatedWith(nw, p, cm, dm, vectors, nil)
+	return EstimateSimulatedParallel(nw, p, cm, dm, vectors, 0)
+}
+
+// EstimateSimulatedParallel is EstimateSimulated with an explicit worker
+// count (0 = GOMAXPROCS, 1 = sequential). Any worker count produces the
+// same report bit for bit: the vector stream is chunked deterministically
+// and each shard warm-starts from the exact settled state at its boundary.
+func EstimateSimulatedParallel(nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool, workers int) (Report, sim.Totals, error) {
+	m, err := sim.MeasureRun(nw, dm, vectors, workers)
+	if err != nil {
+		return Report{}, sim.Totals{}, err
+	}
+	piAct := piActivity(nw, vectors)
+	rep := Evaluate(nw, p, cm, func(id logic.NodeID) float64 {
+		if a, ok := piAct[id]; ok {
+			return a
+		}
+		return m.Activity(id)
+	})
+	return rep, m.Totals, nil
+}
+
+// piActivity measures each primary input's activity from the vector
+// stream itself (the simulator does not charge source nets).
+func piActivity(nw *logic.Network, vectors [][]bool) map[logic.NodeID]float64 {
+	piAct := make(map[logic.NodeID]float64)
+	if len(vectors) == 0 {
+		return piAct
+	}
+	for i, pi := range nw.PIs() {
+		tr := 0
+		prev := false
+		for c, v := range vectors {
+			if c == 0 {
+				prev = v[i]
+				if prev { // initial settle from all-zero reset
+					tr++
+				}
+				continue
+			}
+			if v[i] != prev {
+				tr++
+				prev = v[i]
+			}
+		}
+		piAct[pi] = float64(tr) / float64(len(vectors))
+	}
+	return piAct
+}
+
+// EstimateZeroDelayPacked produces an Eqn. 1 report from the bit-parallel
+// packed engine (sim.PackedSimulator): measured zero-delay activity at 64
+// vectors per machine word. It is the fast path for Monte Carlo power
+// estimation on combinational networks when glitch power is not needed —
+// its per-node activity equals the useful (zero-delay) component of
+// EstimateSimulated over the same vectors.
+func EstimateZeroDelayPacked(nw *logic.Network, p Params, cm CapModel, vectors [][]bool) (Report, sim.Totals, error) {
+	ps, err := sim.NewPacked(nw)
+	if err != nil {
+		return Report{}, sim.Totals{}, err
+	}
+	tot, err := ps.Run(vectors)
+	if err != nil {
+		return Report{}, sim.Totals{}, err
+	}
+	piAct := piActivity(nw, vectors)
+	rep := Evaluate(nw, p, cm, func(id logic.NodeID) float64 {
+		if a, ok := piAct[id]; ok {
+			return a
+		}
+		return ps.Activity(id)
+	})
+	return rep, tot, nil
 }
 
 // EstimateSimulatedWith is EstimateSimulated with a sim.Tracer attached to
@@ -209,39 +282,21 @@ func EstimateSimulated(nw *logic.Network, p Params, cm CapModel, dm sim.DelayMod
 // states, so per-node attribution sums to the reported power by
 // construction.
 func EstimateSimulatedWith(nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool, tracer sim.Tracer) (Report, sim.Totals, error) {
+	if tracer == nil {
+		return EstimateSimulatedParallel(nw, p, cm, dm, vectors, 0)
+	}
+	// A tracer observes every transition in stream order, so the traced
+	// run stays on the single sequential simulator.
 	s, err := sim.New(nw, dm)
 	if err != nil {
 		return Report{}, sim.Totals{}, err
 	}
-	if tracer != nil {
-		s.SetTracer(tracer)
-	}
+	s.SetTracer(tracer)
 	tot, err := s.Run(vectors)
 	if err != nil {
 		return Report{}, sim.Totals{}, err
 	}
-	// Primary-input activity is measured from the vector stream itself.
-	piAct := make(map[logic.NodeID]float64)
-	if len(vectors) > 0 {
-		for i, pi := range nw.PIs() {
-			tr := 0
-			prev := false
-			for c, v := range vectors {
-				if c == 0 {
-					prev = v[i]
-					if prev { // initial settle from all-zero reset
-						tr++
-					}
-					continue
-				}
-				if v[i] != prev {
-					tr++
-					prev = v[i]
-				}
-			}
-			piAct[pi] = float64(tr) / float64(len(vectors))
-		}
-	}
+	piAct := piActivity(nw, vectors)
 	rep := Evaluate(nw, p, cm, func(id logic.NodeID) float64 {
 		if a, ok := piAct[id]; ok {
 			return a

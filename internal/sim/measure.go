@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/logic"
+)
+
+// Measure is the merged result of a (possibly parallel) event-driven
+// simulation run: per-node cumulative transition counts plus the
+// aggregate Totals. It exposes the same Activity/Transitions accessor
+// surface as Simulator, so power estimators accept either.
+type Measure struct {
+	Totals Totals
+
+	nodeTransitions []int64
+	nodeUseful      []int64
+	cycles          int
+}
+
+// Cycles returns the number of simulated cycles.
+func (m *Measure) Cycles() int { return m.cycles }
+
+// Transitions returns the raw transition count on a node's output net
+// (glitches included).
+func (m *Measure) Transitions(id logic.NodeID) int64 { return m.nodeTransitions[id] }
+
+// UsefulTransitions returns the zero-delay (functional) transition count.
+func (m *Measure) UsefulTransitions(id logic.NodeID) int64 { return m.nodeUseful[id] }
+
+// Activity returns transitions per cycle — the N factor of Eqn. 1.
+func (m *Measure) Activity(id logic.NodeID) float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	return float64(m.nodeTransitions[id]) / float64(m.cycles)
+}
+
+// UsefulActivity returns the zero-delay component of the activity.
+func (m *Measure) UsefulActivity(id logic.NodeID) float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	return float64(m.nodeUseful[id]) / float64(m.cycles)
+}
+
+// minChunk is the smallest vector chunk worth a goroutine: below this the
+// per-shard simulator construction dominates the simulation itself.
+const minChunk = 64
+
+// MeasureRun simulates the vector stream under the delay model and
+// returns merged per-node counts, splitting the work across workers
+// goroutines (workers <= 0 means GOMAXPROCS).
+//
+// Results are bit-identical to a sequential Simulator run regardless of
+// worker count. The stream is split into contiguous chunks; each worker
+// warm-starts from the exact settled network state at its chunk boundary
+// — computed by a cheap zero-delay prescan that replays the flip-flop
+// state chain (for combinational networks the settled state is memoryless,
+// so each boundary is a single settle of the preceding vector) — and the
+// integer per-node counts are summed in chunk order. Glitch transients
+// within a cycle depend only on the previous settled state and the new
+// vector, so every chunk reproduces exactly the events of the sequential
+// run over its cycles.
+func MeasureRun(nw *logic.Network, dm DelayModel, vectors [][]bool, workers int) (*Measure, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := len(vectors) / minChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		s, err := New(nw, dm)
+		if err != nil {
+			return nil, err
+		}
+		tot, err := s.Run(vectors)
+		if err != nil {
+			return nil, err
+		}
+		return &Measure{
+			Totals:          tot,
+			nodeTransitions: s.nodeTransitions,
+			nodeUseful:      s.nodeUseful,
+			cycles:          s.cycles,
+		}, nil
+	}
+
+	starts := chunkStarts(len(vectors), workers)
+	states, err := boundaryStates(nw, vectors, starts)
+	if err != nil {
+		return nil, err
+	}
+
+	sims := make([]*Simulator, len(starts))
+	tots := make([]Totals, len(starts))
+	errs := make([]error, len(starts))
+	var wg sync.WaitGroup
+	for i := range starts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			end := len(vectors)
+			if i+1 < len(starts) {
+				end = starts[i+1]
+			}
+			s, err := New(nw, dm)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s.loadState(states[i], starts[i])
+			tot, err := s.Run(vectors[starts[i]:end])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sims[i], tots[i] = s, tot
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := &Measure{
+		nodeTransitions: make([]int64, nw.NumNodes()),
+		nodeUseful:      make([]int64, nw.NumNodes()),
+	}
+	for i, s := range sims {
+		for id := range m.nodeTransitions {
+			m.nodeTransitions[id] += s.nodeTransitions[id]
+			m.nodeUseful[id] += s.nodeUseful[id]
+		}
+		m.cycles += s.cycles
+		m.Totals.Cycles += tots[i].Cycles
+		m.Totals.Transitions += tots[i].Transitions
+		m.Totals.Useful += tots[i].Useful
+		m.Totals.Spurious += tots[i].Spurious
+		if tots[i].MaxSettle > m.Totals.MaxSettle {
+			m.Totals.MaxSettle = tots[i].MaxSettle
+		}
+	}
+	return m, nil
+}
+
+// chunkStarts splits n items into near-equal contiguous chunks and
+// returns each chunk's start index. The split depends only on n and the
+// chunk count, never on scheduling.
+func chunkStarts(n, chunks int) []int {
+	starts := make([]int, chunks)
+	base, rem := n/chunks, n%chunks
+	pos := 0
+	for i := range starts {
+		starts[i] = pos
+		pos += base
+		if i < rem {
+			pos++
+		}
+	}
+	return starts
+}
+
+// boundaryStates returns, for each chunk start, the full settled node
+// state the sequential simulator would hold on entering that cycle. The
+// first chunk gets the all-zero reset settle. Combinational networks are
+// memoryless — each boundary is one settle of the chunk's preceding
+// vector — while sequential networks need a zero-delay replay of the
+// whole prefix to carry the flip-flop state chain (still far cheaper than
+// the event-driven run, which also simulates every glitch).
+func boundaryStates(nw *logic.Network, vectors [][]bool, starts []int) ([][]bool, error) {
+	order, err := nw.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pis := nw.PIs()
+	ffs := nw.FFs()
+
+	settle := func(val []bool) {
+		var buf []bool
+		for _, id := range order {
+			n := nw.Node(id)
+			switch n.Type {
+			case logic.Const0:
+				val[id] = false
+			case logic.Const1:
+				val[id] = true
+			default:
+				buf = buf[:0]
+				for _, f := range n.Fanin {
+					buf = append(buf, val[f])
+				}
+				val[id] = logic.EvalGate(n.Type, buf)
+			}
+		}
+	}
+	resetState := func() []bool {
+		val := make([]bool, nw.NumNodes())
+		for _, f := range ffs {
+			val[f] = nw.Node(f).InitVal
+		}
+		settle(val)
+		return val
+	}
+
+	states := make([][]bool, len(starts))
+	if len(ffs) == 0 {
+		for i, start := range starts {
+			if start == 0 {
+				states[i] = resetState()
+				continue
+			}
+			val := make([]bool, nw.NumNodes())
+			v := vectors[start-1]
+			for j, pi := range pis {
+				val[pi] = v[j]
+			}
+			settle(val)
+			states[i] = val
+		}
+		return states, nil
+	}
+
+	// Sequential prescan: replay the event-driven clocking discipline
+	// (FFs load D from the settled state, then the inputs change) under
+	// zero delay, snapshotting the state entering each chunk.
+	val := resetState()
+	newFF := make([]bool, len(ffs))
+	next := 0
+	for t, v := range vectors {
+		for next < len(starts) && starts[next] == t {
+			states[next] = append([]bool(nil), val...)
+			next++
+		}
+		if next == len(starts) {
+			break
+		}
+		for i, f := range ffs {
+			newFF[i] = val[nw.Node(f).Fanin[0]]
+		}
+		for i, f := range ffs {
+			val[f] = newFF[i]
+		}
+		for j, pi := range pis {
+			val[pi] = v[j]
+		}
+		settle(val)
+	}
+	return states, nil
+}

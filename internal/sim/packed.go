@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/logic"
+)
+
+// PackedSimulator is the bit-parallel zero-delay engine: it evaluates 64
+// input vectors per machine word, one lane per vector, using word-level
+// AND/OR/XOR/NOT over the network's levelized schedule. Per-node
+// transition counts are accumulated with popcounts of prev^next lane
+// differences, so a whole 64-cycle block costs one settle pass plus one
+// OnesCount64 per node.
+//
+// The engine is exact for zero-delay semantics: its per-node transition
+// counts are identical to the scalar event-driven simulator's useful
+// (zero-delay) counts over the same vector stream, including the initial
+// transition away from the all-zero reset settle. It deliberately has no
+// notion of time inside a cycle, so it cannot see glitches — use
+// Simulator (or MeasureRun) when spurious transitions matter.
+//
+// PackedSimulator requires a purely combinational network: lanes are
+// evaluated simultaneously, and a flip-flop chain would impose a serial
+// dependency between lanes. It assumes the network is not structurally
+// modified while the simulator is in use.
+type PackedSimulator struct {
+	nw    *logic.Network
+	order []*logic.Node // levelized schedule (cached topo order, resolved)
+	pis   []logic.NodeID
+
+	val   []uint64 // packed lane values per node
+	carry []uint64 // previous cycle's value (bit 0) per node
+	reset []bool   // settled state under the all-zero input vector
+
+	nodeTransitions []int64
+	cycles          int
+}
+
+// NewPacked creates a packed zero-delay simulator for a combinational
+// network. The levelized schedule comes from the network's cached
+// topological order, so repeated constructions on an unchanged network do
+// not re-derive it.
+func NewPacked(nw *logic.Network) (*PackedSimulator, error) {
+	if n := len(nw.FFs()); n > 0 {
+		return nil, fmt.Errorf("sim: packed simulator requires a combinational network (%q has %d flip-flops)", nw.Name, n)
+	}
+	order, err := nw.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	ps := &PackedSimulator{
+		nw:              nw,
+		order:           make([]*logic.Node, len(order)),
+		pis:             nw.PIs(),
+		val:             make([]uint64, nw.NumNodes()),
+		carry:           make([]uint64, nw.NumNodes()),
+		reset:           make([]bool, nw.NumNodes()),
+		nodeTransitions: make([]int64, nw.NumNodes()),
+	}
+	for i, id := range order {
+		ps.order[i] = nw.Node(id)
+	}
+	// Settle the all-zero input vector once: this is the baseline every
+	// node transitions away from on the first cycle, matching
+	// Simulator.Reset exactly.
+	var buf []bool
+	for _, n := range ps.order {
+		switch n.Type {
+		case logic.Const0:
+			ps.reset[n.ID] = false
+		case logic.Const1:
+			ps.reset[n.ID] = true
+		default:
+			buf = buf[:0]
+			for _, f := range n.Fanin {
+				buf = append(buf, ps.reset[f])
+			}
+			ps.reset[n.ID] = logic.EvalGate(n.Type, buf)
+		}
+	}
+	ps.Reset()
+	return ps, nil
+}
+
+// Reset zeroes all activity counters and restores the reset baseline.
+func (ps *PackedSimulator) Reset() {
+	for i := range ps.nodeTransitions {
+		ps.nodeTransitions[i] = 0
+	}
+	for id, v := range ps.reset {
+		if v {
+			ps.carry[id] = 1
+		} else {
+			ps.carry[id] = 0
+		}
+	}
+	ps.cycles = 0
+}
+
+// Run simulates the vector stream in blocks of 64 lanes and returns the
+// aggregate zero-delay totals (Spurious is 0 and MaxSettle is meaningless
+// under zero delay). Counts accumulate across calls until Reset.
+func (ps *PackedSimulator) Run(vectors [][]bool) (Totals, error) {
+	var tot Totals
+	width := len(ps.pis)
+	for base := 0; base < len(vectors); base += 64 {
+		k := len(vectors) - base
+		if k > 64 {
+			k = 64
+		}
+		// Pack lane j of each input word from vector base+j.
+		for i, pi := range ps.pis {
+			var w uint64
+			for j := 0; j < k; j++ {
+				v := vectors[base+j]
+				if len(v) != width {
+					return tot, fmt.Errorf("sim: packed Run got %d-bit vector, network has %d inputs", len(v), width)
+				}
+				if v[i] {
+					w |= 1 << j
+				}
+			}
+			ps.val[pi] = w
+		}
+		// One word-level settle pass evaluates all 64 lanes of every gate.
+		for _, n := range ps.order {
+			f := n.Fanin
+			var w uint64
+			switch n.Type {
+			case logic.Const0:
+				w = 0
+			case logic.Const1:
+				w = ^uint64(0)
+			case logic.Buf:
+				w = ps.val[f[0]]
+			case logic.Not:
+				w = ^ps.val[f[0]]
+			case logic.And:
+				w = ps.val[f[0]]
+				for _, x := range f[1:] {
+					w &= ps.val[x]
+				}
+			case logic.Nand:
+				w = ps.val[f[0]]
+				for _, x := range f[1:] {
+					w &= ps.val[x]
+				}
+				w = ^w
+			case logic.Or:
+				w = ps.val[f[0]]
+				for _, x := range f[1:] {
+					w |= ps.val[x]
+				}
+			case logic.Nor:
+				w = ps.val[f[0]]
+				for _, x := range f[1:] {
+					w |= ps.val[x]
+				}
+				w = ^w
+			case logic.Xor:
+				w = ps.val[f[0]]
+				for _, x := range f[1:] {
+					w ^= ps.val[x]
+				}
+			case logic.Xnor:
+				w = ps.val[f[0]]
+				for _, x := range f[1:] {
+					w ^= ps.val[x]
+				}
+				w = ^w
+			default:
+				return tot, fmt.Errorf("sim: packed simulator cannot evaluate node type %s", n.Type)
+			}
+			ps.val[n.ID] = w
+		}
+		// Count transitions: lane j toggles iff it differs from lane j-1
+		// (lane 0 compares against the carried-over previous value), so
+		// XOR against the left-shifted word and popcount the valid lanes.
+		mask := ^uint64(0)
+		if k < 64 {
+			mask = 1<<uint(k) - 1
+		}
+		for _, n := range ps.order {
+			w := ps.val[n.ID]
+			diff := (w ^ (w<<1 | ps.carry[n.ID])) & mask
+			if diff != 0 {
+				c := int64(bits.OnesCount64(diff))
+				ps.nodeTransitions[n.ID] += c
+				if n.Type.IsGate() {
+					tot.Transitions += c
+				}
+			}
+			ps.carry[n.ID] = w >> uint(k-1) & 1
+		}
+		ps.cycles += k
+		tot.Cycles += k
+	}
+	tot.Useful = tot.Transitions
+	return tot, nil
+}
+
+// Cycles returns the number of cycles simulated since the last Reset.
+func (ps *PackedSimulator) Cycles() int { return ps.cycles }
+
+// Transitions returns the zero-delay transition count recorded on a
+// node's output net since the last Reset. Primary inputs report 0, like
+// the event-driven simulator — their activity is a property of the vector
+// stream, not the circuit.
+func (ps *PackedSimulator) Transitions(id logic.NodeID) int64 { return ps.nodeTransitions[id] }
+
+// UsefulTransitions equals Transitions: every zero-delay transition is
+// useful by definition.
+func (ps *PackedSimulator) UsefulTransitions(id logic.NodeID) int64 { return ps.nodeTransitions[id] }
+
+// Activity returns the node's measured switching activity in transitions
+// per cycle — the N factor of Eqn. 1 under the zero-delay model.
+func (ps *PackedSimulator) Activity(id logic.NodeID) float64 {
+	if ps.cycles == 0 {
+		return 0
+	}
+	return float64(ps.nodeTransitions[id]) / float64(ps.cycles)
+}
+
+// UsefulActivity equals Activity under zero delay.
+func (ps *PackedSimulator) UsefulActivity(id logic.NodeID) float64 { return ps.Activity(id) }
+
+// ActivityProfile returns the per-node activity for every live node.
+func (ps *PackedSimulator) ActivityProfile() map[logic.NodeID]float64 {
+	out := make(map[logic.NodeID]float64)
+	for _, id := range ps.nw.Live() {
+		out[id] = ps.Activity(id)
+	}
+	return out
+}

@@ -11,7 +11,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/logic"
 	"repro/internal/obsv"
@@ -86,21 +85,35 @@ type Simulator struct {
 	nw    *logic.Network
 	delay []int
 	val   []bool
+	gates []logic.NodeID // cached live gate IDs (stable while simulating)
 
 	// Per-node cumulative transition counts across all simulated cycles.
 	nodeTransitions []int64
 	nodeUseful      []int64
 	cycles          int
+	// cycleBase offsets tracer cycle numbers and lets a warm-started
+	// shard report cycle indices relative to the whole run.
+	cycleBase int
 
 	met    metrics
 	tracer Tracer
 
-	// scratch
-	pendingTimes []int
-	pending      map[int][]logic.NodeID
-	inQueue      map[int]map[logic.NodeID]bool
-	outstanding  int // events scheduled but not yet evaluated
-	cycleHWM     int // high-water mark of outstanding within the cycle
+	// Event-queue scratch, reused across cycles so the steady-state hot
+	// loop performs no allocation: a binary min-heap of pending event
+	// times, per-time node buckets recycled through a free pool, and a
+	// packed (time, node) set for deduplication.
+	timeHeap    []int
+	buckets     map[int][]logic.NodeID
+	bucketPool  [][]logic.NodeID
+	inQ         map[uint64]bool
+	outstanding int // events scheduled but not yet evaluated
+	cycleHWM    int // high-water mark of outstanding within the cycle
+
+	// Per-cycle scratch buffers.
+	initialBuf []bool
+	newFFBuf   []bool
+	changedBuf []logic.NodeID
+	evalBuf    []bool
 }
 
 // New creates a simulator for the network under the given delay model.
@@ -117,8 +130,11 @@ func New(nw *logic.Network, dm DelayModel) (*Simulator, error) {
 		nodeTransitions: make([]int64, nw.NumNodes()),
 		nodeUseful:      make([]int64, nw.NumNodes()),
 		met:             newMetrics(),
-		pending:         make(map[int][]logic.NodeID),
-		inQueue:         make(map[int]map[logic.NodeID]bool),
+		gates:           nw.Gates(),
+		buckets:         make(map[int][]logic.NodeID),
+		inQ:             make(map[uint64]bool),
+		initialBuf:      make([]bool, nw.NumNodes()),
+		newFFBuf:        make([]bool, len(nw.FFs())),
 	}
 	for _, id := range nw.Live() {
 		n := nw.Node(id)
@@ -165,10 +181,29 @@ func (s *Simulator) Reset() error {
 			s.val[id] = logic.EvalGate(n.Type, buf)
 		}
 	}
-	s.nodeTransitions = make([]int64, s.nw.NumNodes())
-	s.nodeUseful = make([]int64, s.nw.NumNodes())
-	s.cycles = 0
+	s.clearCounters()
 	return nil
+}
+
+func (s *Simulator) clearCounters() {
+	for i := range s.nodeTransitions {
+		s.nodeTransitions[i] = 0
+		s.nodeUseful[i] = 0
+	}
+	s.cycles = 0
+	s.cycleBase = 0
+}
+
+// loadState seeds the simulator's node values from a full per-node value
+// snapshot (e.g. the settled state at a vector-stream split point) without
+// recording any activity, and zeroes the counters. It lets a shard of a
+// partitioned Monte Carlo run start exactly where the previous shard's
+// last vector left the network, so chunked simulation is bit-identical to
+// one sequential pass.
+func (s *Simulator) loadState(vals []bool, cycleBase int) {
+	copy(s.val, vals)
+	s.clearCounters()
+	s.cycleBase = cycleBase
 }
 
 // Value returns the present value of a node.
@@ -179,22 +214,72 @@ func (s *Simulator) Value(id logic.NodeID) bool { return s.val[id] }
 // Reset. Attach obsv.NetTrace here to dump VCD waveforms.
 func (s *Simulator) SetTracer(tr Tracer) { s.tracer = tr }
 
+// qkey packs a (time, node) pair into one dedup map key.
+func qkey(t int, id logic.NodeID) uint64 {
+	return uint64(t)<<32 | uint64(uint32(id))
+}
+
 func (s *Simulator) schedule(t int, id logic.NodeID) {
-	q, ok := s.inQueue[t]
+	k := qkey(t, id)
+	if s.inQ[k] {
+		return
+	}
+	s.inQ[k] = true
+	b, ok := s.buckets[t]
 	if !ok {
-		q = make(map[logic.NodeID]bool)
-		s.inQueue[t] = q
-		s.pending[t] = nil
-		s.pendingTimes = append(s.pendingTimes, t)
-	}
-	if !q[id] {
-		q[id] = true
-		s.pending[t] = append(s.pending[t], id)
-		s.outstanding++
-		if s.outstanding > s.cycleHWM {
-			s.cycleHWM = s.outstanding
+		if n := len(s.bucketPool); n > 0 {
+			b = s.bucketPool[n-1][:0]
+			s.bucketPool = s.bucketPool[:n-1]
 		}
+		s.heapPush(t)
 	}
+	s.buckets[t] = append(b, id)
+	s.outstanding++
+	if s.outstanding > s.cycleHWM {
+		s.cycleHWM = s.outstanding
+	}
+}
+
+// heapPush adds a time to the binary min-heap of pending event times.
+func (s *Simulator) heapPush(t int) {
+	h := append(s.timeHeap, t)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.timeHeap = h
+}
+
+// heapPop removes and returns the earliest pending event time.
+func (s *Simulator) heapPop() int {
+	h := s.timeHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	s.timeHeap = h
+	return top
 }
 
 // Cycle applies one clock cycle: flip-flops load the currently settled D
@@ -206,15 +291,15 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 	if len(in) != len(s.nw.PIs()) {
 		return CycleStats{}, fmt.Errorf("sim: Cycle got %d inputs, network has %d", len(in), len(s.nw.PIs()))
 	}
-	initial := make([]bool, len(s.val))
+	initial := s.initialBuf
 	copy(initial, s.val)
 	if s.tracer != nil {
-		s.tracer.BeginCycle(s.cycles)
+		s.tracer.BeginCycle(s.cycleBase + s.cycles)
 	}
 
 	// Clock edge: FFs adopt D values; then PIs change.
-	var changed []logic.NodeID
-	newFF := make([]bool, len(s.nw.FFs()))
+	changed := s.changedBuf[:0]
+	newFF := s.newFFBuf
 	for i, f := range s.nw.FFs() {
 		newFF[i] = s.val[s.nw.Node(f).Fanin[0]]
 	}
@@ -242,7 +327,7 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 
 	// Seed events: every consumer of a changed source evaluates after its
 	// own delay.
-	s.pendingTimes = s.pendingTimes[:0]
+	s.timeHeap = s.timeHeap[:0]
 	s.outstanding, s.cycleHWM = 0, 0
 	for _, id := range changed {
 		for _, c := range s.nw.Node(id).Fanout() {
@@ -253,18 +338,17 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 			s.schedule(s.delay[c], c)
 		}
 	}
+	s.changedBuf = changed
 
 	stats := CycleStats{}
-	var buf []bool
-	for len(s.pendingTimes) > 0 {
-		sort.Ints(s.pendingTimes)
-		t := s.pendingTimes[0]
-		s.pendingTimes = s.pendingTimes[1:]
-		ids := s.pending[t]
-		delete(s.pending, t)
-		delete(s.inQueue, t)
+	buf := s.evalBuf[:0]
+	for len(s.timeHeap) > 0 {
+		t := s.heapPop()
+		ids := s.buckets[t]
+		delete(s.buckets, t)
 		s.outstanding -= len(ids)
 		for _, id := range ids {
+			delete(s.inQ, qkey(t, id))
 			n := s.nw.Node(id)
 			if n == nil || !n.Type.IsGate() {
 				continue
@@ -294,9 +378,11 @@ func (s *Simulator) Cycle(in []bool) (CycleStats, error) {
 				s.schedule(t+s.delay[c], c)
 			}
 		}
+		s.bucketPool = append(s.bucketPool, ids[:0])
 	}
+	s.evalBuf = buf
 
-	for _, id := range s.nw.Gates() {
+	for _, id := range s.gates {
 		if s.val[id] != initial[id] {
 			stats.Useful++
 			s.nodeUseful[id]++
