@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,8 @@ func main() {
 	outPath := flag.String("o", "", "write the report to this file instead of stdout")
 	seed := flag.Int64("seed", 1, "workload seed recorded in the report for provenance")
 	profDir := flag.String("profile", "", "write a Chrome trace of the run (one span per experiment) and a metrics snapshot to this directory")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget; experiments not yet started when it expires are skipped and reported as failures (0 = no limit)")
+	perTimeout := flag.Duration("per-timeout", 0, "per-experiment budget; a table that takes longer is reported as failed (0 = no limit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -83,20 +86,33 @@ func main() {
 		selected = append(selected, ex)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	// Independent tables run concurrently on a bounded pool; results come
 	// back in E-number order with per-table span timings, so the emitted
 	// report and trace are deterministic for any -parallel value.
 	var tables []*experiments.Table
+	var failures []experiments.Failure
 	failed := 0
-	for _, res := range experiments.RunAll(selected, *parallel) {
+	for _, res := range experiments.RunAllCtx(ctx, selected, *parallel, *perTimeout) {
 		span := profile.Span{Name: res.ID, Cat: "experiment", StartNs: res.StartNs, DurNs: res.DurNs}
 		span.Args = map[string]interface{}{}
 		if res.Err != nil {
 			span.Args["error"] = res.Err.Error()
 			trace.Add(span)
 			fmt.Fprintf(os.Stderr, "%s: %v\n", res.ID, res.Err)
+			failures = append(failures, experiments.Failure{ID: res.ID, Error: res.Err.Error(), Skipped: res.Skipped})
 			failed++
-			continue
+			// A timed-out table was still produced; keep it in the report so a
+			// partial run stays useful. Panics and skips have no table.
+			if res.Table == nil {
+				continue
+			}
 		}
 		span.Args["title"] = res.Table.Title
 		span.Args["rows"] = len(res.Table.Rows)
@@ -119,6 +135,7 @@ func main() {
 	if *jsonOut {
 		rep := experiments.NewReport(*seed)
 		rep.Tables = tables
+		rep.Failures = failures
 		rep.Metrics = reg.Export()
 		if err := rep.WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

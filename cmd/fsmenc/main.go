@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/encode"
 	"repro/internal/logic"
 	"repro/internal/power"
@@ -25,7 +26,12 @@ func main() {
 	name := flag.String("fsm", "", "built-in corpus machine (count8, traffic, arbiter, det1101, idler)")
 	seed := flag.Int64("seed", 1, "annealing seed")
 	out := flag.String("o", "", "write the lowest-power implementation as BLIF")
+	timeout := flag.Duration("timeout", 0, "hard wall-clock limit; on expiry fsmenc prints a timeout error and exits with status 124 (0 = no limit)")
 	flag.Parse()
+
+	// The encoding search is not context-aware, so the timeout here is a
+	// watchdog rather than a graceful deadline.
+	cliutil.Watchdog("fsmenc", *timeout)
 
 	g, err := load(*kiss, *name)
 	if err != nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +25,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bdd"
 	"repro/internal/circuits"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/obsv"
@@ -58,6 +61,8 @@ func main() {
 	topN := flag.Int("top", 0, "print the N hottest nodes after the flow (0 = only with -profile, which defaults to 10)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the lpflow run itself to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the flow; on expiry the partial trajectory is printed and lpflow exits non-zero (0 = no limit)")
+	bddBudget := flag.Int("bdd-budget", 0, "max BDD nodes per exact power measurement; over budget the measurement degrades to Monte Carlo, marked (MC) (0 = unlimited)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -103,9 +108,23 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown flow %q (try -list)", *flowName))
 	}
+	runCtx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+		// Hard backstop past the graceful deadline for non-ctx-aware paths.
+		cliutil.Watchdog("lpflow", cliutil.GraceAfter(*timeout))
+	}
 	ctx := core.NewContext(nw, *seed)
-	rep, err := core.RunFlow(nw, flow, ctx)
+	ctx.ExactBudget = bdd.Budget{MaxNodes: *bddBudget}
+	rep, err := core.RunFlowCtx(runCtx, nw, flow, ctx)
 	if err != nil {
+		// On cancellation the flow hands back the trajectory it finished;
+		// print it before failing so a timed-out run is still informative.
+		if rep != nil && len(rep.Steps) > 0 {
+			fmt.Print(rep)
+		}
 		fatal(err)
 	}
 	fmt.Print(rep)

@@ -8,12 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"repro/internal/bdd"
 	"repro/internal/circuits"
+	"repro/internal/cliutil"
 	"repro/internal/logic"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -26,7 +29,17 @@ func main() {
 	p1 := flag.Float64("p1", 0.5, "input one-probability")
 	seed := flag.Int64("seed", 1, "workload seed")
 	top := flag.Int("top", 5, "top consumers to list")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole estimation (0 = no limit)")
+	bddBudget := flag.Int("bdd-budget", 0, "max BDD nodes for the exact estimate; over budget it degrades to Monte Carlo (0 = unlimited)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		cliutil.Watchdog("powerest", cliutil.GraceAfter(*timeout))
+	}
 
 	nw, err := load(*circuit, *blif)
 	if err != nil {
@@ -47,7 +60,8 @@ func main() {
 		inProb = seq
 	}
 
-	exact, err := power.EstimateExact(nw, params, nil, inProb)
+	exact, err := power.EstimateExactCtx(ctx, nw, params, nil, inProb,
+		power.ExactOptions{Budget: bdd.Budget{MaxNodes: *bddBudget}, MCVectors: *vectors, MCSeed: *seed})
 	if err != nil {
 		fatal(err)
 	}

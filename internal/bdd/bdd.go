@@ -13,6 +13,7 @@
 package bdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -46,32 +47,47 @@ type iteKey struct{ f, g, h Ref }
 // metrics holds the manager's registry handles, captured at New. All
 // handles are nil (no-op) when observability is disabled.
 type metrics struct {
-	uniqueHits   *obsv.Counter // bdd.unique.hits
-	uniqueMisses *obsv.Counter // bdd.unique.misses
-	iteHits      *obsv.Counter // bdd.ite.hits
-	iteMisses    *obsv.Counter // bdd.ite.misses
-	nodes        *obsv.Gauge   // bdd.nodes: high-water node count
+	uniqueHits     *obsv.Counter // bdd.unique.hits
+	uniqueMisses   *obsv.Counter // bdd.unique.misses
+	iteHits        *obsv.Counter // bdd.ite.hits
+	iteMisses      *obsv.Counter // bdd.ite.misses
+	nodes          *obsv.Gauge   // bdd.nodes: high-water node count
+	budgetExceeded *obsv.Counter // bdd.budget.exceeded
 }
 
 func newMetrics() metrics {
 	r := obsv.Default()
 	return metrics{
-		uniqueHits:   r.Counter("bdd.unique.hits"),
-		uniqueMisses: r.Counter("bdd.unique.misses"),
-		iteHits:      r.Counter("bdd.ite.hits"),
-		iteMisses:    r.Counter("bdd.ite.misses"),
-		nodes:        r.Gauge("bdd.nodes"),
+		uniqueHits:     r.Counter("bdd.unique.hits"),
+		uniqueMisses:   r.Counter("bdd.unique.misses"),
+		iteHits:        r.Counter("bdd.ite.hits"),
+		iteMisses:      r.Counter("bdd.ite.misses"),
+		nodes:          r.Gauge("bdd.nodes"),
+		budgetExceeded: r.Counter("bdd.budget.exceeded"),
 	}
 }
 
 // Manager owns a set of BDD nodes over a fixed number of variables.
 // Variable i has level i: lower-indexed variables appear nearer the root.
+//
+// A manager may carry a resource Budget and a context (SetBudget,
+// SetContext). When either trips, the manager records a sticky BudgetError
+// (Err) and every subsequent operation returns False without doing work;
+// the manager and all results computed on it must then be discarded. A
+// manager whose budget never trips builds exactly the same node graph as
+// an unbudgeted one.
 type Manager struct {
 	nodes  []node
 	unique map[uniqueKey]Ref
 	iteC   map[iteKey]Ref
 	nvars  int
 	met    metrics
+
+	budget  Budget
+	ctx     context.Context // nil = no cancellation polling
+	steps   int64           // cumulative ITE recursion steps
+	checked bool            // true when budget limits or a context are set
+	err     error           // sticky *BudgetError once a limit trips
 }
 
 // New creates a manager with nvars variables.
@@ -124,6 +140,9 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
+	if m.checked && m.err != nil {
+		return False
+	}
 	k := uniqueKey{level, lo, hi}
 	if r, ok := m.unique[k]; ok {
 		m.met.uniqueHits.Inc()
@@ -134,6 +153,9 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.unique[k] = r
 	m.met.nodes.Max(float64(len(m.nodes)))
+	if m.checked {
+		m.checkNodes()
+	}
 	return r
 }
 
@@ -153,6 +175,9 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	case g == True && h == False:
 		return f
 	}
+	if m.checked && !m.checkStep() {
+		return False
+	}
 	k := iteKey{f, g, h}
 	if r, ok := m.iteC[k]; ok {
 		m.met.iteHits.Inc()
@@ -171,6 +196,11 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	h0, h1 := m.cofactors(h, top)
 	lo := m.ITE(f0, g0, h0)
 	hi := m.ITE(f1, g1, h1)
+	if m.checked && m.err != nil {
+		// The budget tripped somewhere below: lo/hi are placeholder False
+		// refs, so neither build a node from them nor poison the cache.
+		return False
+	}
 	r := m.mk(top, lo, hi)
 	m.iteC[k] = r
 	return r

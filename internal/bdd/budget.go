@@ -1,0 +1,122 @@
+package bdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Budget bounds the resources a Manager may consume before its operations
+// are cut off. BDDs can blow up exponentially on adversarial or merely
+// large netlists — the exact risk that motivates the survey's preference
+// for simulation-based estimators when exact analysis is intractable — so
+// every engine that builds BDDs from untrusted input should run under a
+// budget and degrade when it trips.
+//
+// The zero value imposes no limits. Limits are checked incrementally:
+// a manager that never exceeds its budget constructs exactly the same
+// node graph, in the same order, as an unbudgeted one.
+type Budget struct {
+	// MaxNodes caps the total number of nodes in the manager's unique
+	// table (including the two terminals). 0 means unlimited.
+	MaxNodes int
+	// MaxSteps caps the cumulative number of ITE recursion steps across
+	// all operations on the manager. 0 means unlimited.
+	MaxSteps int64
+}
+
+// limited reports whether any limit is set.
+func (b Budget) limited() bool { return b.MaxNodes > 0 || b.MaxSteps > 0 }
+
+// ErrBudgetExceeded is the sentinel matched by errors.Is for every budget
+// or cancellation failure raised by a Manager.
+var ErrBudgetExceeded = errors.New("bdd: budget exceeded")
+
+// BudgetError is the typed error recorded when a manager exceeds its
+// budget or its context is cancelled. It matches ErrBudgetExceeded under
+// errors.Is and carries the manager's resource counters at the moment the
+// limit tripped.
+type BudgetError struct {
+	Reason string // "nodes", "steps", or the context error ("deadline exceeded", ...)
+	Nodes  int    // unique-table size when the error was recorded
+	Steps  int64  // cumulative ITE steps when the error was recorded
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("bdd: budget exceeded (%s) after %d nodes, %d steps", e.Reason, e.Nodes, e.Steps)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) true for BudgetError values.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// SetBudget installs resource limits on the manager. Call before building
+// functions; changing the budget after an error has been recorded does not
+// clear the error.
+func (m *Manager) SetBudget(b Budget) {
+	m.budget = b
+	m.checked = b.limited() || m.ctx != nil
+}
+
+// SetContext attaches a context whose cancellation (deadline or explicit
+// cancel) aborts in-flight BDD operations. The context is polled
+// periodically inside the ITE recursion, so even a single huge apply call
+// notices cancellation promptly. A nil context disables polling.
+func (m *Manager) SetContext(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil
+	}
+	m.ctx = ctx
+	m.checked = m.budget.limited() || ctx != nil
+}
+
+// Err returns the sticky budget/cancellation error, or nil. Once non-nil
+// the manager is poisoned: every subsequent operation returns False
+// without doing work, and its results (including any computed while the
+// error was being raised) must be discarded. Callers that set a budget or
+// context must check Err after each batch of operations.
+func (m *Manager) Err() error { return m.err }
+
+// Steps returns the cumulative ITE recursion step count, the work measure
+// MaxSteps bounds.
+func (m *Manager) Steps() int64 { return m.steps }
+
+// checkStep accounts one ITE recursion step and trips the budget when a
+// limit is exceeded. The context is polled every 4096 steps so the check
+// stays off the hot path. Returns false once the manager is poisoned.
+func (m *Manager) checkStep() bool {
+	if m.err != nil {
+		return false
+	}
+	m.steps++
+	if m.budget.MaxSteps > 0 && m.steps > m.budget.MaxSteps {
+		m.fail("steps")
+		return false
+	}
+	if m.ctx != nil && m.steps&4095 == 0 {
+		if err := m.ctx.Err(); err != nil {
+			m.fail(err.Error())
+			return false
+		}
+	}
+	return true
+}
+
+// checkNodes trips the budget when the unique table has outgrown MaxNodes.
+func (m *Manager) checkNodes() bool {
+	if m.err != nil {
+		return false
+	}
+	if m.budget.MaxNodes > 0 && len(m.nodes) > m.budget.MaxNodes {
+		m.fail("nodes")
+		return false
+	}
+	return true
+}
+
+func (m *Manager) fail(reason string) {
+	if m.err != nil {
+		return
+	}
+	m.err = &BudgetError{Reason: reason, Nodes: len(m.nodes), Steps: m.steps}
+	m.met.budgetExceeded.Inc()
+}

@@ -1,0 +1,132 @@
+package bdd
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/circuits"
+)
+
+// buildParity constructs the n-variable parity function, whose BDD has
+// 2n-1 internal nodes — a convenient knob for budget tests.
+func buildParity(m *Manager, n int) Ref {
+	f := False
+	for i := 0; i < n; i++ {
+		f = m.Xor(f, m.Var(i))
+	}
+	return f
+}
+
+func TestBudgetNodeCapTrips(t *testing.T) {
+	m := New(16)
+	m.SetBudget(Budget{MaxNodes: 8})
+	buildParity(m, 16)
+	err := m.Err()
+	if err == nil {
+		t.Fatal("node budget of 8 did not trip on 16-var parity")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("error %v does not match ErrBudgetExceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not *BudgetError", err)
+	}
+	if be.Reason != "nodes" {
+		t.Fatalf("reason = %q, want nodes", be.Reason)
+	}
+}
+
+func TestBudgetStepCapTrips(t *testing.T) {
+	m := New(16)
+	m.SetBudget(Budget{MaxSteps: 10})
+	buildParity(m, 16)
+	err := m.Err()
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Reason != "steps" {
+		t.Fatalf("step budget error = %v, want *BudgetError{Reason: steps}", err)
+	}
+}
+
+func TestBudgetPoisonedManagerReturnsFalse(t *testing.T) {
+	m := New(8)
+	m.SetBudget(Budget{MaxNodes: 4})
+	buildParity(m, 8)
+	if m.Err() == nil {
+		t.Fatal("budget did not trip")
+	}
+	nodesAfter := m.Size()
+	// Every further operation is a cheap no-op returning False.
+	for i := 0; i < 100; i++ {
+		if r := m.And(m.Var(0), m.Var(1)); r != False {
+			t.Fatalf("poisoned manager returned %d, want False", r)
+		}
+	}
+	if m.Size() != nodesAfter {
+		t.Fatalf("poisoned manager grew from %d to %d nodes", nodesAfter, m.Size())
+	}
+}
+
+// TestBudgetUnhitIsIdentical is the bit-identity guarantee: a budget that
+// never trips must yield exactly the same node graph, refs included, as no
+// budget at all.
+func TestBudgetUnhitIsIdentical(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := FromNetworkCtx(context.Background(), nw, Budget{MaxNodes: 1 << 20, MaxSteps: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.M.Size() != budgeted.M.Size() {
+		t.Fatalf("node counts differ: %d vs %d", plain.M.Size(), budgeted.M.Size())
+	}
+	for id, f := range plain.Fn {
+		if budgeted.Fn[id] != f {
+			t.Fatalf("node %d: ref %d (plain) vs %d (budgeted)", id, f, budgeted.Fn[id])
+		}
+	}
+}
+
+func TestFromNetworkCtxBudgetTrips(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FromNetworkCtx(context.Background(), nw, Budget{MaxNodes: 16})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("tiny node budget: err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestFromNetworkCtxCancellation(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FromNetworkCtx(ctx, nw, Budget{}); err == nil {
+		t.Fatal("cancelled context did not abort FromNetworkCtx")
+	}
+}
+
+func TestFromNetworkCtxDeadline(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // guarantee the deadline has passed
+	if _, err := FromNetworkCtx(ctx, nw, Budget{}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expired deadline: err = %v, want ErrBudgetExceeded", err)
+	}
+}

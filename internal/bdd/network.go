@@ -1,6 +1,7 @@
 package bdd
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/logic"
@@ -24,8 +25,19 @@ type NetworkBDDs struct {
 // outputs. Sequential networks are handled by treating FF outputs as free
 // inputs (the standard combinational abstraction).
 func FromNetwork(nw *logic.Network) (*NetworkBDDs, error) {
+	return FromNetworkCtx(context.Background(), nw, Budget{})
+}
+
+// FromNetworkCtx is FromNetwork under a resource budget and a context.
+// When the manager's budget trips or ctx is cancelled mid-build, the
+// partial BDDs are discarded and the manager's typed error (a *BudgetError
+// matching ErrBudgetExceeded, or the context error) is returned. With a
+// zero budget and a background context it is exactly FromNetwork.
+func FromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkBDDs, error) {
 	srcs := append(append([]logic.NodeID(nil), nw.PIs()...), nw.FFs()...)
 	m := New(len(srcs))
+	m.SetBudget(b)
+	m.SetContext(ctx)
 	nb := &NetworkBDDs{
 		M:     m,
 		VarOf: make(map[logic.NodeID]int, len(srcs)),
@@ -41,6 +53,9 @@ func FromNetwork(nw *logic.Network) (*NetworkBDDs, error) {
 		return nil, err
 	}
 	for _, id := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, &BudgetError{Reason: err.Error(), Nodes: m.Size(), Steps: m.Steps()}
+		}
 		n := nw.Node(id)
 		var f Ref
 		switch n.Type {
@@ -61,6 +76,9 @@ func FromNetwork(nw *logic.Network) (*NetworkBDDs, error) {
 			if err != nil {
 				return nil, err
 			}
+		}
+		if err := m.Err(); err != nil {
+			return nil, err
 		}
 		nb.Fn[id] = f
 	}

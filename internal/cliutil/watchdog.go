@@ -1,0 +1,41 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Watchdog arms a hard wall-clock backstop: if the process is still
+// alive after d, it prints a one-line timeout error to stderr and exits
+// with status 124 (the coreutils timeout convention) instead of hanging
+// indefinitely or dying in a goroutine dump. d <= 0 arms nothing.
+//
+// The context plumbing in core and power stops work at the next pass or
+// polling boundary; the watchdog exists for the code paths that are not
+// context-aware. Callers that do thread a context should arm the
+// watchdog with a grace margin past the context deadline so the graceful
+// path wins whenever it can.
+func Watchdog(tool string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.AfterFunc(d, func() {
+		fmt.Fprintf(os.Stderr, "%s: timeout: still running after %v\n", tool, d)
+		os.Exit(124)
+	})
+}
+
+// GraceAfter is the watchdog margin added past a context deadline: a
+// quarter of the deadline, clamped to [1s, 30s].
+func GraceAfter(d time.Duration) time.Duration {
+	g := d / 4
+	if g < time.Second {
+		g = time.Second
+	}
+	if g > 30*time.Second {
+		g = 30 * time.Second
+	}
+	return d + g
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/balance"
+	"repro/internal/bdd"
 	"repro/internal/dontcare"
 	"repro/internal/logic"
 	"repro/internal/obsv"
@@ -34,6 +36,11 @@ type Context struct {
 	// Verify enables exhaustive equivalence checking after each pass
 	// (only for networks with <= 16 inputs).
 	Verify bool
+	// ExactBudget caps the BDD work behind each exact power measurement;
+	// when a measurement trips it, the snapshot degrades to Monte Carlo
+	// (Snapshot.Degraded) instead of failing the flow. The zero value
+	// means unlimited.
+	ExactBudget bdd.Budget
 }
 
 // NewContext builds a default context for a network: 1995 parameters,
@@ -58,18 +65,33 @@ type Snapshot struct {
 	SimP      float64 // event-driven power including glitches
 	Spurious  float64 // spurious fraction of simulated transitions
 	FlipFlops int
+	// Degraded marks ExactP as a Monte Carlo estimate: the exact BDD
+	// evaluation tripped the context's ExactBudget.
+	Degraded bool
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("%-22s gates=%4d depth=%3d ff=%3d exactP=%9.2f simP=%9.2f glitch=%5.1f%%",
-		s.Label, s.Gates, s.Depth, s.FlipFlops, s.ExactP, s.SimP, 100*s.Spurious)
+	mark := ""
+	if s.Degraded {
+		mark = " (MC)"
+	}
+	return fmt.Sprintf("%-22s gates=%4d depth=%3d ff=%3d exactP=%9.2f%s simP=%9.2f glitch=%5.1f%%",
+		s.Label, s.Gates, s.Depth, s.FlipFlops, s.ExactP, mark, s.SimP, 100*s.Spurious)
 }
 
 // Measure evaluates a network under the context.
-func Measure(nw *logic.Network, ctx *Context, label string) (Snapshot, error) {
+func Measure(nw *logic.Network, fctx *Context, label string) (Snapshot, error) {
+	return MeasureCtx(context.Background(), nw, fctx, label)
+}
+
+// MeasureCtx is Measure with a cancellation boundary. The exact power
+// estimate runs under fctx.ExactBudget and degrades to Monte Carlo when
+// the budget trips; cancellation of ctx aborts the measurement with the
+// context's error.
+func MeasureCtx(ctx context.Context, nw *logic.Network, fctx *Context, label string) (Snapshot, error) {
 	st := nw.Stats()
 	snap := Snapshot{Label: label, Gates: st.Gates, Depth: st.Levels, FlipFlops: st.FFs}
-	inProb := ctx.InputProb
+	inProb := fctx.InputProb
 	if len(nw.FFs()) > 0 {
 		seq, err := power.SequentialProbabilities(nw, rand.New(rand.NewSource(1)), 1000, 0.5)
 		if err != nil {
@@ -77,12 +99,14 @@ func Measure(nw *logic.Network, ctx *Context, label string) (Snapshot, error) {
 		}
 		inProb = seq
 	}
-	exact, err := power.EstimateExact(nw, ctx.Params, ctx.CapModel, inProb)
+	exact, err := power.EstimateExactCtx(ctx, nw, fctx.Params, fctx.CapModel, inProb,
+		power.ExactOptions{Budget: fctx.ExactBudget})
 	if err != nil {
 		return snap, err
 	}
 	snap.ExactP = exact.Total()
-	rep, tot, err := power.EstimateSimulated(nw, ctx.Params, ctx.CapModel, sim.UnitDelay, ctx.Vectors)
+	snap.Degraded = exact.Degraded
+	rep, tot, err := power.EstimateSimulated(nw, fctx.Params, fctx.CapModel, sim.UnitDelay, fctx.Vectors)
 	if err != nil {
 		return snap, err
 	}
@@ -238,22 +262,35 @@ func (fr *FlowReport) String() string {
 
 // RunFlow applies the flow's passes to the network in place, measuring
 // after each pass and verifying equivalence when the context asks for it.
-func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
+func RunFlow(nw *logic.Network, flow Flow, fctx *Context) (*FlowReport, error) {
+	return RunFlowCtx(context.Background(), nw, flow, fctx)
+}
+
+// RunFlowCtx is RunFlow with a cancellation boundary: ctx is polled
+// before each pass and each measurement, so a deadline or cancel stops
+// the flow at the next pass boundary. On cancellation the partial
+// FlowReport accumulated so far is returned ALONGSIDE the error — the
+// steps already measured stay valid even though the flow did not finish.
+// All other errors return a nil report, as before.
+func RunFlowCtx(ctx context.Context, nw *logic.Network, flow Flow, fctx *Context) (*FlowReport, error) {
 	reg := Registry()
 	rep := &FlowReport{Flow: flow.Name}
-	snap, err := Measure(nw, ctx, "initial")
+	snap, err := MeasureCtx(ctx, nw, fctx, "initial")
 	if err != nil {
 		return nil, err
 	}
 	rep.Steps = append(rep.Steps, snap)
 	var golden *logic.Network
-	verify := ctx.Verify && len(nw.PIs()) <= 16 && len(nw.FFs()) == 0
+	verify := fctx.Verify && len(nw.PIs()) <= 16 && len(nw.FFs()) == 0
 	if verify {
 		golden = nw.Clone()
 	}
 	obs := obsv.Default()
 	flowStart := time.Now()
 	for _, name := range flow.Passes {
+		if cerr := ctx.Err(); cerr != nil {
+			return rep, fmt.Errorf("core: flow %q stopped before pass %q: %w", flow.Name, name, cerr)
+		}
 		p, ok := reg[name]
 		if !ok {
 			return nil, fmt.Errorf("core: unknown pass %q in flow %q", name, flow.Name)
@@ -261,7 +298,7 @@ func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
 		span := PassSpan{Name: name, Level: p.Level, StartNs: time.Since(flowStart).Nanoseconds()}
 		stop := obs.Timer("lpflow.pass." + name + ".ns").Start()
 		passStart := time.Now()
-		err := p.Run(nw, ctx)
+		err := p.Run(nw, fctx)
 		span.DurNs = time.Since(passStart).Nanoseconds()
 		stop()
 		if err != nil {
@@ -280,8 +317,11 @@ func RunFlow(nw *logic.Network, flow Flow, ctx *Context) (*FlowReport, error) {
 			}
 		}
 		prev := rep.Steps[len(rep.Steps)-1]
-		snap, err := Measure(nw, ctx, name)
+		snap, err := MeasureCtx(ctx, nw, fctx, name)
 		if err != nil {
+			if ctx.Err() != nil {
+				return rep, fmt.Errorf("core: flow %q stopped measuring after pass %q: %w", flow.Name, name, err)
+			}
 			return nil, err
 		}
 		rep.Steps = append(rep.Steps, snap)

@@ -81,7 +81,10 @@ func (a *analyzer) odc(id logic.NodeID) (bdd.Ref, error) {
 			for i, fi := range n.Fanin {
 				args[i] = fn[fi]
 			}
-			f = applyGate(m, n.Type, args)
+			f, err = applyGate(m, n.Type, args)
+			if err != nil {
+				return bdd.False, err
+			}
 		}
 		fn[nid] = f
 	}
@@ -233,24 +236,24 @@ func localOnSet(n *logic.Node) *sop.Cover {
 	return cv
 }
 
-func applyGate(m *bdd.Manager, t logic.GateType, args []bdd.Ref) bdd.Ref {
+func applyGate(m *bdd.Manager, t logic.GateType, args []bdd.Ref) (bdd.Ref, error) {
 	switch t {
 	case logic.Buf:
-		return args[0]
+		return args[0], nil
 	case logic.Not:
-		return m.Not(args[0])
+		return m.Not(args[0]), nil
 	case logic.And:
-		return m.And(args...)
+		return m.And(args...), nil
 	case logic.Or:
-		return m.Or(args...)
+		return m.Or(args...), nil
 	case logic.Nand:
-		return m.Not(m.And(args...))
+		return m.Not(m.And(args...)), nil
 	case logic.Nor:
-		return m.Not(m.Or(args...))
+		return m.Not(m.Or(args...)), nil
 	case logic.Xor:
-		return m.Xor(args...)
+		return m.Xor(args...), nil
 	case logic.Xnor:
-		return m.Xnor(args...)
+		return m.Xnor(args...), nil
 	}
-	panic(fmt.Sprintf("dontcare: unsupported gate type %s", t))
+	return bdd.False, fmt.Errorf("dontcare: %w", &logic.UnsupportedGateError{Type: t})
 }

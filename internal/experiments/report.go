@@ -11,9 +11,20 @@ import (
 // run provenance. The schema is documented in DESIGN.md ("Observability").
 type Report struct {
 	Tables    []*Table               `json:"tables"`
+	Failures  []Failure              `json:"failures,omitempty"`
 	Metrics   map[string]interface{} `json:"metrics,omitempty"`
 	GoVersion string                 `json:"go_version"`
 	Seed      int64                  `json:"seed"`
+}
+
+// Failure records an experiment that produced no table — an error, a
+// recovered panic, or a cancellation skip — so a partial run is still an
+// honest report: consumers see which tables are missing and why instead
+// of inferring it from absence.
+type Failure struct {
+	ID      string `json:"id"`
+	Error   string `json:"error"`
+	Skipped bool   `json:"skipped,omitempty"`
 }
 
 // NewReport creates an empty report stamped with the running Go version.

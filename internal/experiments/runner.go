@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -14,8 +17,22 @@ type Result struct {
 	ID      string
 	Table   *Table
 	Err     error
+	Skipped bool // run was cancelled before this experiment started
 	StartNs int64
 	DurNs   int64
+}
+
+// PanicError wraps a panic recovered from an experiment goroutine so one
+// buggy table cannot kill a whole -parallel run. The stack is captured at
+// recovery time for the JSON report.
+type PanicError struct {
+	ID    string
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment %s panicked: %v", e.ID, e.Value)
 }
 
 // RunAll executes the experiments on a bounded worker pool and returns
@@ -27,6 +44,19 @@ type Result struct {
 // and the obsv registry (the only cross-experiment sink) uses atomic
 // counters, so the aggregate metrics are also scheduling-independent.
 func RunAll(list []Experiment, parallel int) []Result {
+	return RunAllCtx(context.Background(), list, parallel, 0)
+}
+
+// RunAllCtx is RunAll with a cancellation boundary and an optional
+// per-experiment deadline. Experiments that have not started when ctx is
+// cancelled are marked Skipped with Err = ctx.Err(); experiments already
+// running are allowed to finish (the generators are not individually
+// context-aware), so the returned slice is always complete and in input
+// order — partial in content, never in shape. perTimeout > 0 stamps an
+// experiment whose run exceeds it with a deadline error but does not
+// abandon the table it produced. A panicking experiment is recovered into
+// a *PanicError on its Result instead of crashing the process.
+func RunAllCtx(ctx context.Context, list []Experiment, parallel int, perTimeout time.Duration) []Result {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -47,12 +77,34 @@ func RunAll(list []Experiment, parallel int) []Result {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			res := Result{Index: i, ID: ex.ID, StartNs: time.Since(start).Nanoseconds()}
+			if err := ctx.Err(); err != nil {
+				res.Skipped = true
+				res.Err = err
+				results[i] = res
+				return
+			}
 			exStart := time.Now()
-			res.Table, res.Err = ex.Run()
+			res.Table, res.Err = runOne(ex)
 			res.DurNs = time.Since(exStart).Nanoseconds()
+			if res.Err == nil && perTimeout > 0 && res.DurNs > perTimeout.Nanoseconds() {
+				res.Err = fmt.Errorf("experiment %s: exceeded per-experiment budget %v (took %v): %w",
+					ex.ID, perTimeout, time.Duration(res.DurNs), context.DeadlineExceeded)
+			}
 			results[i] = res
 		}(i, ex)
 	}
 	wg.Wait()
 	return results
+}
+
+// runOne fences a single experiment: a panic anywhere inside the
+// generator becomes a *PanicError result.
+func runOne(ex Experiment) (t *Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t = nil
+			err = &PanicError{ID: ex.ID, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return ex.Run()
 }

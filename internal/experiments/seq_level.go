@@ -358,7 +358,10 @@ func E13Precomputation() (*Table, error) {
 
 	// Guarded evaluation [44]: freeze a deep cone when its output is
 	// unobservable.
-	gnet, target := guardedEvalExample()
+	gnet, target, err := guardedEvalExample()
+	if err != nil {
+		return nil, err
+	}
 	orig := gnet.Clone()
 	var origRegion []logic.NodeID
 	for id := range precomp.Region(orig, target) {
@@ -380,7 +383,7 @@ func E13Precomputation() (*Table, error) {
 
 // guardedEvalExample builds a deep 3-input mixing cone gated by an enable,
 // the guarded-evaluation target (see precomp/guard_test.go).
-func guardedEvalExample() (*logic.Network, logic.NodeID) {
+func guardedEvalExample() (*logic.Network, logic.NodeID, error) {
 	nw := logic.New("guard")
 	var xs []logic.NodeID
 	for i := 0; i < 3; i++ {
@@ -394,7 +397,7 @@ func guardedEvalExample() (*logic.Network, logic.NodeID) {
 	}
 	out := nw.MustGate("gout", logic.And, acc, en)
 	if err := nw.MarkOutput(out); err != nil {
-		panic(err)
+		return nil, 0, err
 	}
-	return nw, acc
+	return nw, acc, nil
 }

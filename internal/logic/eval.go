@@ -1,10 +1,51 @@
 package logic
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsupportedGate is the sentinel matched by errors.Is for every
+// unsupported-gate-type error returned by the evaluation entry points.
+var ErrUnsupportedGate = errors.New("logic: unsupported gate type")
+
+// UnsupportedGateError is the typed error returned when evaluation is
+// asked to compute a node type that is not a combinational gate. It
+// matches ErrUnsupportedGate under errors.Is.
+type UnsupportedGateError struct {
+	Type GateType
+}
+
+func (e *UnsupportedGateError) Error() string {
+	return fmt.Sprintf("logic: unsupported gate type %s", e.Type)
+}
+
+// Is makes errors.Is(err, ErrUnsupportedGate) true.
+func (e *UnsupportedGateError) Is(target error) bool { return target == ErrUnsupportedGate }
+
+// TryEvalGate computes the output of a gate of type t given its fanin
+// values, returning an *UnsupportedGateError instead of panicking on
+// non-gate types. It is the entry point for code paths reachable from
+// external input (parsers, whole-network evaluation); validated hot loops
+// may keep using EvalGate.
+func TryEvalGate(t GateType, in []bool) (bool, error) {
+	if !t.IsGate() {
+		return false, &UnsupportedGateError{Type: t}
+	}
+	if len(in) == 0 {
+		// Gates have at least one fanin (see GateType.MinFanin); guard the
+		// in[0] accesses below against hand-built nodes.
+		return false, fmt.Errorf("logic: %s gate evaluated with no fanin values", t)
+	}
+	return EvalGate(t, in), nil
+}
 
 // EvalGate computes the output of a gate of type t given its fanin values.
-// It panics on non-gate types (use Network.Eval for whole-network
-// evaluation, which handles inputs, constants and flip-flops).
+// It panics on non-gate types: it is the Must-style helper for validated
+// paths (simulator inner loops, generators) where the network has already
+// passed construction-time checks. Untrusted callers should use
+// TryEvalGate, and whole-network evaluation should go through
+// Network.EvalComb or State.Step, which return typed errors.
 func EvalGate(t GateType, in []bool) bool {
 	switch t {
 	case Buf:
@@ -52,7 +93,7 @@ func EvalGate(t GateType, in []bool) bool {
 		}
 		return p
 	}
-	panic(fmt.Sprintf("logic: EvalGate on non-gate type %s", t))
+	panic((&UnsupportedGateError{Type: t}).Error())
 }
 
 // State holds the present values of every node in a network during
@@ -142,7 +183,11 @@ func (s *State) settle() error {
 			for _, f := range n.Fanin {
 				buf = append(buf, s.val[f])
 			}
-			s.val[id] = EvalGate(n.Type, buf)
+			v, err := TryEvalGate(n.Type, buf)
+			if err != nil {
+				return err
+			}
+			s.val[id] = v
 		}
 	}
 	return nil

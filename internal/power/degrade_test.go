@@ -1,0 +1,165 @@
+package power
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/circuits"
+	"repro/internal/logic"
+	"repro/internal/obsv"
+)
+
+// TestEstimateExactCtxUnbudgetedIdentical is the acceptance bit-identity
+// check: a budget that is never hit must produce exactly the report the
+// unbudgeted estimator produces.
+func TestEstimateExactCtxUnbudgetedIdentical(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	plain, err := EstimateExact(nw, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EstimateExactCtx(context.Background(), nw, p, nil, nil,
+		ExactOptions{Budget: bdd.Budget{MaxNodes: 1 << 22, MaxSteps: 1 << 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Degraded {
+		t.Fatal("generous budget degraded to Monte Carlo")
+	}
+	if plain.Total() != big.Total() || plain.Switching != big.Switching {
+		t.Fatalf("budgeted (unhit) report differs: %v vs %v", plain, big)
+	}
+	if len(plain.Nodes) != len(big.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(plain.Nodes), len(big.Nodes))
+	}
+	for i := range plain.Nodes {
+		if plain.Nodes[i] != big.Nodes[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, plain.Nodes[i], big.Nodes[i])
+		}
+	}
+}
+
+func TestEstimateExactCtxDegradesOnTinyBudget(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obsv.Enable()
+	defer obsv.Disable()
+	p := DefaultParams()
+	rep, err := EstimateExactCtx(context.Background(), nw, p, nil, nil,
+		ExactOptions{Budget: bdd.Budget{MaxNodes: 16}, MCVectors: 512})
+	if err != nil {
+		t.Fatalf("tiny budget must degrade, not fail: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("Degraded flag not set under a 16-node budget")
+	}
+	if rep.DegradeReason == "" {
+		t.Fatal("DegradeReason empty")
+	}
+	if rep.Total() <= 0 {
+		t.Fatalf("degraded report has non-positive power %v", rep.Total())
+	}
+	if got := reg.Counter("power.exact.degraded").Value(); got != 1 {
+		t.Fatalf("power.exact.degraded = %d, want 1", got)
+	}
+	// The degraded estimate is still in the right ballpark: within 3x of
+	// the exact answer on this well-conditioned circuit.
+	exact, err := EstimateExact(nw, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := rep.Total() / exact.Total(); ratio < 1/3.0 || ratio > 3.0 {
+		t.Fatalf("degraded/exact power ratio %.2f out of range", ratio)
+	}
+}
+
+func TestEstimateExactCtxDegradedDeterministic(t *testing.T) {
+	nw, err := circuits.CLAAdder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	opt := ExactOptions{Budget: bdd.Budget{MaxSteps: 32}, MCVectors: 256, MCSeed: 7}
+	a, err := EstimateExactCtx(context.Background(), nw, p, nil, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateExactCtx(context.Background(), nw, p, nil, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded || !b.Degraded {
+		t.Fatal("32-step budget did not degrade")
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("degraded reports not reproducible: %v vs %v", a.Total(), b.Total())
+	}
+}
+
+// TestEstimateExactCtxSequentialDegrades exercises the scalar sequential
+// fallback path: flip-flops rule out the packed engine.
+func TestEstimateExactCtxSequentialDegrades(t *testing.T) {
+	nw := logic.New("seqdeg")
+	var ins []logic.NodeID
+	for i := 0; i < 4; i++ {
+		ins = append(ins, nw.MustInput([]string{"a", "b", "c", "d"}[i]))
+	}
+	x1 := nw.MustGate("x1", logic.Xor, ins[0], ins[1])
+	x2 := nw.MustGate("x2", logic.Xor, x1, ins[2])
+	ff, err := nw.AddDFF("ff", x2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x3 := nw.MustGate("x3", logic.Xor, ff, ins[3])
+	if err := nw.MarkOutput(x3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EstimateExactCtx(context.Background(), nw, DefaultParams(), nil, nil,
+		ExactOptions{Budget: bdd.Budget{MaxSteps: 2}, MCVectors: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatal("sequential network did not degrade under a 2-step budget")
+	}
+	if rep.Total() <= 0 {
+		t.Fatalf("degraded sequential report has power %v", rep.Total())
+	}
+}
+
+func TestEstimateExactCtxHardCancellation(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Cancellation means "stop", not "degrade": the estimator must return
+	// the context error instead of falling back to Monte Carlo.
+	_, err = EstimateExactCtx(ctx, nw, DefaultParams(), nil, nil, ExactOptions{MCVectors: 1 << 16})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExactProbabilitiesCtxDeadline(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := ExactProbabilitiesCtx(ctx, nw, nil, bdd.Budget{}); err == nil {
+		t.Fatal("expired deadline produced probabilities")
+	}
+}

@@ -146,6 +146,13 @@ type Report struct {
 	ShortCkt  float64
 	Leakage   float64
 	Nodes     []NodePower
+
+	// Degraded is true when the exact estimator exhausted its BDD budget
+	// and the report's activities come from the Monte Carlo fallback
+	// instead (see EstimateExactCtx). DegradeReason carries the budget
+	// error that forced the downgrade.
+	Degraded      bool
+	DegradeReason string
 }
 
 // Total returns total power.
@@ -162,8 +169,12 @@ func (r Report) SwitchingShare() float64 {
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("P=%.4f (switching %.4f [%.1f%%], short-circuit %.4f, leakage %.4f)",
+	s := fmt.Sprintf("P=%.4f (switching %.4f [%.1f%%], short-circuit %.4f, leakage %.4f)",
 		r.Total(), r.Switching, 100*r.SwitchingShare(), r.ShortCkt, r.Leakage)
+	if r.Degraded {
+		s += " [degraded to Monte Carlo: " + r.DegradeReason + "]"
+	}
+	return s
 }
 
 // TopConsumers returns the k highest-power nodes, descending.

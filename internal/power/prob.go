@@ -1,6 +1,7 @@
 package power
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -28,24 +29,7 @@ func (ps Probabilities) Activity(id logic.NodeID) float64 {
 // Reconvergent fanout is handled exactly — this is the reference against
 // which the propagation approximation is measured.
 func ExactProbabilities(nw *logic.Network, inputProb Probabilities) (Probabilities, error) {
-	nb, err := bdd.FromNetwork(nw)
-	if err != nil {
-		return nil, err
-	}
-	pv := make([]float64, nb.M.NumVars())
-	for i, src := range nb.Vars {
-		p, ok := inputProb[src]
-		if !ok {
-			p = 0.5
-		}
-		pv[i] = p
-	}
-	out := make(Probabilities, len(nb.Fn))
-	for id, f := range nb.Fn {
-		out[id] = nb.M.Probability(f, pv)
-	}
-	obsv.Default().Counter("power.exact.nodes").Add(int64(len(nb.Fn)))
-	return out, nil
+	return ExactProbabilitiesCtx(context.Background(), nw, inputProb, bdd.Budget{})
 }
 
 // PropagatedProbabilities computes approximate signal probabilities by

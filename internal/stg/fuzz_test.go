@@ -1,0 +1,56 @@
+package stg
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzReadKISS asserts the parser's total-function contract on arbitrary
+// bytes: ReadKISS never panics; every rejection is a typed *ParseError;
+// and every accepted machine survives a WriteKISS/ReadKISS round trip.
+// The seed corpus is the built-in benchmark suite plus the regression
+// entries under testdata/fuzz/FuzzReadKISS (one per parsing bug fixed in
+// the robustness pass — bare headers, garbage widths, mismatched cube
+// lengths).
+func FuzzReadKISS(f *testing.F) {
+	for _, text := range corpusKISS {
+		f.Add([]byte(text))
+	}
+	f.Add([]byte(".i\n"))
+	f.Add([]byte(".i x\n.o -1\n"))
+	f.Add([]byte(".i 1\n.o 1\n01 a b 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadKISS(bytes.NewReader(data))
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ReadKISS error %v (%T) is not a *ParseError", err, err)
+			}
+			return
+		}
+		if len(g.States) == 0 || g.NumInputs < 0 || g.NumOut < 0 {
+			t.Fatalf("accepted machine is malformed: %d states, %d inputs, %d outputs",
+				len(g.States), g.NumInputs, g.NumOut)
+		}
+		// Round trip: what we write, we must read back.
+		var buf strings.Builder
+		if err := g.WriteKISS(&buf); err != nil {
+			t.Fatalf("WriteKISS on accepted machine: %v", err)
+		}
+		g2, err := ReadKISS(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%s\nerr: %v", buf.String(), err)
+		}
+		if len(g2.States) != len(g.States) || len(g2.Edges) != len(g.Edges) || g2.Reset != g.Reset {
+			t.Fatalf("round trip changed the machine: %d/%d states, %d/%d edges, reset %q/%q",
+				len(g.States), len(g2.States), len(g.Edges), len(g2.Edges), g.Reset, g2.Reset)
+		}
+		// The analyses downstream of the parser must also be total on any
+		// accepted machine.
+		g.TransitionMatrix()
+		g.SteadyState(10)
+		g.Reachable()
+	})
+}

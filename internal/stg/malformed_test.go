@@ -1,0 +1,97 @@
+package stg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReadKISSMalformed is the regression table for the parsing bugs fixed
+// in the robustness pass: every entry used to panic (index out of range on
+// bare headers) or silently mis-parse (Sscanf errors ignored, widths
+// unvalidated). All must now return a *ParseError with the right line.
+func TestReadKISSMalformed(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		wantLine int
+		wantSub  string
+	}{
+		{"bare .i", ".i\n", 1, ".i needs exactly one numeric argument"},
+		{"bare .o", ".i 1\n.o\n", 2, ".o needs exactly one numeric argument"},
+		{"bare .r", ".i 1\n.o 1\n.r\n", 3, ".r needs exactly one state name"},
+		{"bare .s", ".s\n", 1, ".s needs exactly one numeric argument"},
+		{"bare .p", ".p\n", 1, ".p needs exactly one numeric argument"},
+		{"garbage .i width", ".i banana\n", 1, "not an integer"},
+		{"garbage .o width", ".i 1\n.o 2x\n", 2, "not an integer"},
+		{"zero .i width", ".i 0\n", 1, "must be positive"},
+		{"negative .i width", ".i -3\n", 1, "must be positive"},
+		{"huge .i width", ".i 99999999\n", 1, "out of range"},
+		{"garbage .s", ".s many\n", 1, "not an integer"},
+		{"unknown directive", ".frobnicate 3\n", 1, "unknown directive"},
+		{"short edge line", ".i 1\n.o 1\n0 a b\n", 3, "edge line needs 4 fields"},
+		{"long edge line", ".i 1\n.o 1\n0 a b 1 extra\n", 3, "edge line needs 4 fields"},
+		{"cube too wide", ".i 1\n.o 1\n01 a b 1\n", 3, "has 2 bits, machine has 1"},
+		{"cube too narrow", ".i 2\n.o 1\n0 a b 1\n", 3, "has 1 bits, machine has 2"},
+		{"output too wide", ".i 1\n.o 1\n0 a b 11\n", 3, "has 2 bits, machine has 1"},
+		{"bad cube literal", ".i 1\n.o 1\nx a b 1\n", 3, "bad input literal"},
+		{"bad output literal", ".i 1\n.o 1\n0 a b z\n", 3, "bad output literal"},
+		{"edge before .i", "0 a b 1\n.i 1\n.o 1\n", 1, "machine has 0"},
+		{"no transitions", ".i 1\n.o 1\n", 0, "no transitions"},
+		{"unknown reset", ".i 1\n.o 1\n.r ghost\n0 a b 1\n", 0, `reset state "ghost" has no transitions`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadKISS(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ReadKISS accepted %q (got %d states)", tc.in, len(g.States))
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("line = %d, want %d (err: %v)", pe.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err.Error(), tc.wantSub)
+			}
+		})
+	}
+}
+
+// Huge .i widths beyond maxDeclaredWidth are rejected with the range
+// message rather than the positivity one.
+func TestReadKISSWidthCap(t *testing.T) {
+	_, err := ReadKISS(strings.NewReader(".i 2147483647\n"))
+	if err == nil {
+		t.Fatal("accepted a 2^31-1 input width")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *ParseError", err)
+	}
+}
+
+// TestReadKISSValidStillParses pins the happy path: comments, blank lines,
+// informational headers, and a declared reset.
+func TestReadKISSValidStillParses(t *testing.T) {
+	in := `
+# a comment
+.i 2
+.o 1
+.s 2   # trailing comment
+.p 2
+.r b
+0- a b 1
+1- b a 0
+.e
+`
+	g, err := ReadKISS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs != 2 || g.NumOut != 1 || len(g.States) != 2 || g.Reset != "b" {
+		t.Fatalf("parsed %+v", g)
+	}
+}

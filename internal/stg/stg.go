@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -251,15 +252,59 @@ func (g *STG) TransitionWeights() [][]float64 {
 	return w
 }
 
+// ParseError reports a malformed KISS2 input with its 1-based line
+// number. Every content error from ReadKISS is a *ParseError, so callers
+// can point users at the offending line.
+type ParseError struct {
+	Line int    // 1-based line number; 0 when no single line is at fault
+	Msg  string // human-readable description of the defect
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("kiss: line %d: %s", e.Line, e.Msg)
+	}
+	return "kiss: " + e.Msg
+}
+
+// maxDeclaredWidth bounds .i/.o declarations: anything beyond it is
+// rejected as malformed rather than accepted as an absurd machine shape.
+const maxDeclaredWidth = 1 << 16
+
+// headerCount parses the numeric argument of a .i/.o/.s/.p header line.
+func headerCount(f []string, lineno int, positive bool) (int, error) {
+	if len(f) != 2 {
+		return 0, &ParseError{Line: lineno, Msg: fmt.Sprintf("%s needs exactly one numeric argument, got %d", f[0], len(f)-1)}
+	}
+	n, err := strconv.Atoi(f[1])
+	if err != nil {
+		return 0, &ParseError{Line: lineno, Msg: fmt.Sprintf("%s argument %q is not an integer", f[0], f[1])}
+	}
+	if positive && n <= 0 {
+		return 0, &ParseError{Line: lineno, Msg: fmt.Sprintf("%s must be positive, got %d", f[0], n)}
+	}
+	if n < 0 || n > maxDeclaredWidth {
+		return 0, &ParseError{Line: lineno, Msg: fmt.Sprintf("%s value %d out of range [0,%d]", f[0], n, maxDeclaredWidth)}
+	}
+	return n, nil
+}
+
 // ReadKISS parses the KISS2 FSM format:
 //
 //	.i N  .o M  .s S  .p P  .r RESET
 //	<input-cube> <from> <to> <output-bits>
+//
+// Malformed input — bare or non-numeric headers, non-positive widths,
+// edge cubes or output strings that disagree with the declared .i/.o
+// widths, unknown directives — is reported as a *ParseError carrying the
+// 1-based line number; ReadKISS never panics on any input.
 func ReadKISS(r io.Reader) (*STG, error) {
 	sc := bufio.NewScanner(r)
 	g := &STG{index: make(map[string]int)}
 	var reset string
+	lineno := 0
 	for sc.Scan() {
+		lineno++
 		line := strings.TrimSpace(sc.Text())
 		if i := strings.Index(line, "#"); i >= 0 {
 			line = strings.TrimSpace(line[:i])
@@ -270,34 +315,55 @@ func ReadKISS(r io.Reader) (*STG, error) {
 		f := strings.Fields(line)
 		switch f[0] {
 		case ".i":
-			fmt.Sscanf(f[1], "%d", &g.NumInputs)
-		case ".o":
-			fmt.Sscanf(f[1], "%d", &g.NumOut)
-		case ".s", ".p":
-			// informational
-		case ".r":
-			if len(f) > 1 {
-				reset = f[1]
+			if len(g.Edges) > 0 {
+				return nil, &ParseError{Line: lineno, Msg: ".i declared after transitions"}
 			}
+			n, err := headerCount(f, lineno, true)
+			if err != nil {
+				return nil, err
+			}
+			g.NumInputs = n
+		case ".o":
+			if len(g.Edges) > 0 {
+				return nil, &ParseError{Line: lineno, Msg: ".o declared after transitions"}
+			}
+			n, err := headerCount(f, lineno, true)
+			if err != nil {
+				return nil, err
+			}
+			g.NumOut = n
+		case ".s", ".p":
+			// Informational counts; still reject garbage arguments.
+			if _, err := headerCount(f, lineno, false); err != nil {
+				return nil, err
+			}
+		case ".r":
+			if len(f) != 2 {
+				return nil, &ParseError{Line: lineno, Msg: fmt.Sprintf(".r needs exactly one state name, got %d arguments", len(f)-1)}
+			}
+			reset = f[1]
 		case ".e", ".end":
 		default:
+			if strings.HasPrefix(f[0], ".") {
+				return nil, &ParseError{Line: lineno, Msg: fmt.Sprintf("unknown directive %q", f[0])}
+			}
 			if len(f) != 4 {
-				return nil, fmt.Errorf("kiss: bad edge line %q", line)
+				return nil, &ParseError{Line: lineno, Msg: fmt.Sprintf("edge line needs 4 fields (cube from to outputs), got %d", len(f))}
 			}
 			if err := g.AddEdge(f[0], f[1], f[2], f[3]); err != nil {
-				return nil, err
+				return nil, &ParseError{Line: lineno, Msg: strings.TrimPrefix(err.Error(), "stg: ")}
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, &ParseError{Line: lineno + 1, Msg: err.Error()}
 	}
 	if len(g.States) == 0 {
-		return nil, fmt.Errorf("kiss: no transitions")
+		return nil, &ParseError{Msg: "no transitions"}
 	}
 	if reset != "" {
 		if g.StateIndex(reset) < 0 {
-			return nil, fmt.Errorf("kiss: reset state %q has no transitions", reset)
+			return nil, &ParseError{Msg: fmt.Sprintf("reset state %q has no transitions", reset)}
 		}
 		g.Reset = reset
 	}
