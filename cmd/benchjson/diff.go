@@ -24,13 +24,19 @@ func loadReport(path string) (*Report, error) {
 
 // benchDelta is the comparison of one benchmark between two reports.
 type benchDelta struct {
-	Name               string
-	OldNs, NewNs       float64
-	NsDelta            float64 // fractional change; +0.25 = 25% slower
+	Name                 string
+	OldNs, NewNs         float64
+	NsDelta              float64 // fractional change; +0.25 = 25% slower
 	OldAllocs, NewAllocs float64
-	AllocsDelta        float64
-	NsRegressed        bool
-	AllocsRegressed    bool
+	AllocsDelta          float64
+	NsRegressed          bool
+	AllocsRegressed      bool
+	// NsComparable / AllocsComparable are false when the baseline value is
+	// zero (a broken or pre-benchmem archive): the ratio is undefined, so
+	// the delta column prints n/a and the gate never divides by zero or
+	// waves a real slowdown through as "+0.0%".
+	NsComparable     bool
+	AllocsComparable bool
 }
 
 // runDiff compares two report files benchmark by benchmark and writes a
@@ -60,12 +66,19 @@ func runDiff(oldPath, newPath string, threshold, allocThreshold float64, w io.Wr
 			flag = "  << REGRESSION"
 			regressions++
 		}
-		allocs := "-"
-		if d.OldAllocs > 0 || d.NewAllocs > 0 {
-			allocs = fmt.Sprintf("%+.1f%%", 100*d.AllocsDelta)
+		delta := "    n/a"
+		if d.NsComparable {
+			delta = fmt.Sprintf("%+6.1f%%", 100*d.NsDelta)
 		}
-		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+7.1f%% %10s%s\n",
-			d.Name, d.OldNs, d.NewNs, 100*d.NsDelta, allocs, flag)
+		allocs := "-"
+		switch {
+		case d.AllocsComparable:
+			allocs = fmt.Sprintf("%+.1f%%", 100*d.AllocsDelta)
+		case d.NewAllocs > 0:
+			allocs = "n/a"
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %8s %10s%s\n",
+			d.Name, d.OldNs, d.NewNs, delta, allocs, flag)
 	}
 	for _, n := range onlyOld {
 		fmt.Fprintf(w, "%-40s removed\n", n)
@@ -94,10 +107,12 @@ func diffReports(oldRep, newRep *Report, threshold, allocThreshold float64) (del
 			NewAllocs: nb.AllocsPerOp,
 		}
 		if ob.NsPerOp > 0 {
+			d.NsComparable = true
 			d.NsDelta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
 			d.NsRegressed = d.NsDelta > threshold
 		}
 		if ob.AllocsPerOp > 0 {
+			d.AllocsComparable = true
 			d.AllocsDelta = (nb.AllocsPerOp - ob.AllocsPerOp) / ob.AllocsPerOp
 			if allocThreshold >= 0 {
 				d.AllocsRegressed = d.AllocsDelta > allocThreshold

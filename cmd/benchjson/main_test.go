@@ -153,3 +153,99 @@ func TestParseBenchLineLiftsStandardMetrics(t *testing.T) {
 		t.Errorf("metrics map missing ns/op: %v", b.Metrics)
 	}
 }
+
+// A zero baseline ns/op (a broken or hand-edited archive entry) must not
+// divide by zero, must not report a bogus "+0.0%", and must not count as a
+// regression — the pair is incomparable and prints n/a.
+func TestRunDiffZeroBaselineNsPerOp(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", `{
+  "date": "2026-08-01",
+  "benchmarks": [
+    {"name": "Zeroed", "full_name": "BenchmarkZeroed-8", "iterations": 1, "metrics": {}}
+  ]
+}`)
+	neu := writeReport(t, dir, "new.json", `{
+  "date": "2026-08-02",
+  "benchmarks": [
+    {"name": "Zeroed", "full_name": "BenchmarkZeroed-8", "iterations": 1,
+     "ns_per_op": 4000, "allocs_per_op": 9, "metrics": {"ns/op": 4000, "allocs/op": 9}}
+  ]
+}`)
+	var out strings.Builder
+	regressions, err := runDiff(old, neu, 0.10, 0.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("incomparable baseline flagged %d regressions:\n%s", regressions, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "n/a") {
+		t.Errorf("zero baseline should print n/a deltas:\n%s", text)
+	}
+	for _, bad := range []string{"+0.0%", "NaN", "Inf"} {
+		if strings.Contains(text, bad) {
+			t.Errorf("zero-baseline delta rendered as %q:\n%s", bad, text)
+		}
+	}
+}
+
+// diffReports classifies incomparable pairs without inventing deltas.
+func TestDiffReportsZeroBaselineComparability(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Benchmark{{Name: "B", NsPerOp: 0, AllocsPerOp: 0}}}
+	newRep := &Report{Benchmarks: []Benchmark{{Name: "B", NsPerOp: 100, AllocsPerOp: 5}}}
+	deltas, onlyOld, onlyNew := diffReports(oldRep, newRep, 0.10, 0.10)
+	if len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("shared benchmark misclassified: onlyOld=%v onlyNew=%v", onlyOld, onlyNew)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %d, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if d.NsComparable || d.AllocsComparable {
+		t.Errorf("zero baselines marked comparable: %+v", d)
+	}
+	if d.NsRegressed || d.AllocsRegressed {
+		t.Errorf("zero baselines flagged as regression: %+v", d)
+	}
+}
+
+// Benchmarks present in only one report must be listed, never silently
+// dropped — and never fail the gate on their own.
+func TestRunDiffReportsOneSidedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", `{
+  "date": "2026-08-01",
+  "benchmarks": [
+    {"name": "Kept", "full_name": "BenchmarkKept-8", "iterations": 1,
+     "ns_per_op": 100, "metrics": {"ns/op": 100}},
+    {"name": "Dropped", "full_name": "BenchmarkDropped-8", "iterations": 1,
+     "ns_per_op": 200, "metrics": {"ns/op": 200}}
+  ]
+}`)
+	neu := writeReport(t, dir, "new.json", `{
+  "date": "2026-08-02",
+  "benchmarks": [
+    {"name": "Kept", "full_name": "BenchmarkKept-8", "iterations": 1,
+     "ns_per_op": 100, "metrics": {"ns/op": 100}},
+    {"name": "Fresh", "full_name": "BenchmarkFresh-8", "iterations": 1,
+     "ns_per_op": 300, "metrics": {"ns/op": 300}}
+  ]
+}`)
+	var out strings.Builder
+	regressions, err := runDiff(old, neu, 0.10, -1, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("one-sided benchmarks flagged %d regressions:\n%s", regressions, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "Dropped") || !strings.Contains(text, "removed") {
+		t.Errorf("old-only benchmark not reported as removed:\n%s", text)
+	}
+	if !strings.Contains(text, "Fresh") || !strings.Contains(text, "added") {
+		t.Errorf("new-only benchmark not reported as added:\n%s", text)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/obsv"
 	"repro/internal/obsv/profile"
@@ -91,6 +92,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+		// Hard backstop for experiments that outlive the graceful skip
+		// boundary (a running table is not individually cancellable),
+		// disarmed on clean exit.
+		stopWatchdog := cliutil.Watchdog("experiments", cliutil.GraceAfter(*timeout))
+		defer stopWatchdog()
 	}
 
 	// Independent tables run concurrently on a bounded pool; results come

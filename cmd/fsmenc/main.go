@@ -30,8 +30,10 @@ func main() {
 	flag.Parse()
 
 	// The encoding search is not context-aware, so the timeout here is a
-	// watchdog rather than a graceful deadline.
-	cliutil.Watchdog("fsmenc", *timeout)
+	// watchdog rather than a graceful deadline; disarm it once the run
+	// completes so a finish just under the wire cannot race the timer.
+	stopWatchdog := cliutil.Watchdog("fsmenc", *timeout)
+	defer stopWatchdog()
 
 	g, err := load(*kiss, *name)
 	if err != nil {

@@ -36,18 +36,9 @@ import (
 	"repro/internal/sim"
 )
 
-var generators = map[string]func() (*logic.Network, error){
-	"radd8":  func() (*logic.Network, error) { return circuits.RippleAdder(8) },
-	"radd16": func() (*logic.Network, error) { return circuits.RippleAdder(16) },
-	"cla8":   func() (*logic.Network, error) { return circuits.CLAAdder(8) },
-	"mult4":  func() (*logic.Network, error) { return circuits.ArrayMultiplier(4) },
-	"mult5":  func() (*logic.Network, error) { return circuits.ArrayMultiplier(5) },
-	"mult6":  func() (*logic.Network, error) { return circuits.ArrayMultiplier(6) },
-	"cmp8":   func() (*logic.Network, error) { return circuits.Comparator(8) },
-	"alu4":   func() (*logic.Network, error) { return circuits.ALU(4) },
-	"par16":  func() (*logic.Network, error) { return circuits.ParityTree(16) },
-	"dec5":   func() (*logic.Network, error) { return circuits.Decoder(5) },
-}
+// generators is the shared named-circuit registry (internal/circuits);
+// lpflow, powerest and lpserverd all resolve -circuit names there.
+var generators = circuits.Generators()
 
 func main() {
 	circuit := flag.String("circuit", "", "built-in circuit generator")
@@ -113,8 +104,10 @@ func main() {
 		var cancel context.CancelFunc
 		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
 		defer cancel()
-		// Hard backstop past the graceful deadline for non-ctx-aware paths.
-		cliutil.Watchdog("lpflow", cliutil.GraceAfter(*timeout))
+		// Hard backstop past the graceful deadline for non-ctx-aware
+		// paths, disarmed on clean exit.
+		stopWatchdog := cliutil.Watchdog("lpflow", cliutil.GraceAfter(*timeout))
+		defer stopWatchdog()
 	}
 	ctx := core.NewContext(nw, *seed)
 	ctx.ExactBudget = bdd.Budget{MaxNodes: *bddBudget}

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	circuit := flag.String("circuit", "", "built-in circuit (radd8, mult5, cmp8, alu4, par16)")
+	circuit := flag.String("circuit", "", "built-in circuit generator (e.g. radd8, mult5, cmp8, alu4, par16)")
 	blif := flag.String("blif", "", "BLIF file to analyze")
 	vectors := flag.Int("vectors", 1000, "simulation vectors")
 	p1 := flag.Float64("p1", 0.5, "input one-probability")
@@ -38,7 +38,9 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		cliutil.Watchdog("powerest", cliutil.GraceAfter(*timeout))
+		// Hard backstop past the graceful deadline, disarmed on clean exit.
+		stopWatchdog := cliutil.Watchdog("powerest", cliutil.GraceAfter(*timeout))
+		defer stopWatchdog()
 	}
 
 	nw, err := load(*circuit, *blif)
@@ -108,19 +110,7 @@ func load(circuit, blif string) (*logic.Network, error) {
 		defer f.Close()
 		return logic.ReadBLIF(f)
 	case circuit != "":
-		switch circuit {
-		case "radd8":
-			return circuits.RippleAdder(8)
-		case "mult5":
-			return circuits.ArrayMultiplier(5)
-		case "cmp8":
-			return circuits.Comparator(8)
-		case "alu4":
-			return circuits.ALU(4)
-		case "par16":
-			return circuits.ParityTree(16)
-		}
-		return nil, fmt.Errorf("unknown circuit %q", circuit)
+		return circuits.Named(circuit)
 	default:
 		return nil, fmt.Errorf("specify -circuit or -blif")
 	}

@@ -14,6 +14,8 @@ package circuits
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/logic"
 )
@@ -353,4 +355,57 @@ func MuxTree(k int) (*logic.Network, error) {
 		return nil, err
 	}
 	return nw, nil
+}
+
+// Generator builds one named benchmark circuit. Every call returns a
+// fresh, independent network.
+type Generator func() (*logic.Network, error)
+
+// generators is the shared registry of named benchmark circuits. The
+// names are part of the external interface: lpflow -circuit, powerest
+// -circuit and the lpserverd "circuit" request field all resolve here, so
+// a rename is a breaking API change.
+var generators = map[string]Generator{
+	"radd8":  func() (*logic.Network, error) { return RippleAdder(8) },
+	"radd16": func() (*logic.Network, error) { return RippleAdder(16) },
+	"cla8":   func() (*logic.Network, error) { return CLAAdder(8) },
+	"mult4":  func() (*logic.Network, error) { return ArrayMultiplier(4) },
+	"mult5":  func() (*logic.Network, error) { return ArrayMultiplier(5) },
+	"mult6":  func() (*logic.Network, error) { return ArrayMultiplier(6) },
+	"cmp8":   func() (*logic.Network, error) { return Comparator(8) },
+	"alu4":   func() (*logic.Network, error) { return ALU(4) },
+	"par16":  func() (*logic.Network, error) { return ParityTree(16) },
+	"dec5":   func() (*logic.Network, error) { return Decoder(5) },
+	"mux16":  func() (*logic.Network, error) { return MuxTree(4) },
+}
+
+// Generators returns a copy of the named-circuit registry, so callers can
+// iterate or extend their view without mutating the shared table.
+func Generators() map[string]Generator {
+	out := make(map[string]Generator, len(generators))
+	for n, g := range generators {
+		out[n] = g
+	}
+	return out
+}
+
+// GeneratorNames lists the registry names, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(generators))
+	for n := range generators {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Named builds the circuit registered under name, or an error naming the
+// valid choices.
+func Named(name string) (*logic.Network, error) {
+	g, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("circuits: unknown circuit %q (choose from %s)",
+			name, strings.Join(GeneratorNames(), " "))
+	}
+	return g()
 }

@@ -301,3 +301,37 @@ func TestHierarchicalNamesStable(t *testing.T) {
 		}
 	}
 }
+
+func TestGeneratorRegistry(t *testing.T) {
+	names := GeneratorNames()
+	if len(names) == 0 {
+		t.Fatal("empty generator registry")
+	}
+	for _, name := range names {
+		nw, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if err := nw.Check(); err != nil {
+			t.Fatalf("Named(%q) built an inconsistent network: %v", name, err)
+		}
+		// Fresh instance per call: mutating one build must not leak into
+		// the next (lpserverd caches and clones these).
+		again, err := Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw == again {
+			t.Fatalf("Named(%q) returned a shared instance", name)
+		}
+	}
+	if _, err := Named("no-such-circuit"); err == nil {
+		t.Fatal("unknown circuit name did not error")
+	}
+	// Generators() hands out a copy of the table.
+	reg := Generators()
+	delete(reg, "mult4")
+	if _, err := Named("mult4"); err != nil {
+		t.Fatalf("mutating the Generators() copy broke the registry: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package cliutil
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// swapSeams replaces the process-killing seams for one test and returns
+// a poll function reporting (fired, exit code, stderr text).
+func swapSeams(t *testing.T) func() (bool, int, string) {
+	t.Helper()
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	fired := false
+	code := 0
+	oldW, oldE := watchdogStderr, watchdogExit
+	watchdogStderr = writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	watchdogExit = func(c int) {
+		mu.Lock()
+		defer mu.Unlock()
+		fired = true
+		code = c
+	}
+	t.Cleanup(func() { watchdogStderr, watchdogExit = oldW, oldE })
+	return func() (bool, int, string) {
+		mu.Lock()
+		defer mu.Unlock()
+		return fired, code, buf.String()
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestWatchdogFires(t *testing.T) {
+	state := swapSeams(t)
+	stop := Watchdog("testtool", 5*time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fired, code, msg := state()
+		if fired {
+			if code != 124 {
+				t.Fatalf("exit code = %d, want 124", code)
+			}
+			if !strings.Contains(msg, "testtool: timeout") {
+				t.Fatalf("stderr = %q, want tool-tagged timeout line", msg)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchdogDisarm is the long-lived-server regression: a stopped
+// watchdog must never fire, no matter how long the process lives on.
+func TestWatchdogDisarm(t *testing.T) {
+	state := swapSeams(t)
+	stop := Watchdog("testtool", 10*time.Millisecond)
+	stop()
+	stop() // idempotent
+	time.Sleep(60 * time.Millisecond)
+	if fired, _, _ := state(); fired {
+		t.Fatal("disarmed watchdog fired")
+	}
+}
+
+func TestWatchdogZeroDurationIsInert(t *testing.T) {
+	state := swapSeams(t)
+	stop := Watchdog("testtool", 0)
+	stop() // must not panic
+	time.Sleep(10 * time.Millisecond)
+	if fired, _, _ := state(); fired {
+		t.Fatal("zero-duration watchdog fired")
+	}
+}
+
+func TestGraceAfterClamp(t *testing.T) {
+	cases := []struct{ in, want time.Duration }{
+		{time.Second, 2 * time.Second},                      // floor: +1s
+		{40 * time.Second, 50 * time.Second},                // proportional: +d/4
+		{10 * time.Minute, 10*time.Minute + 30*time.Second}, // ceiling: +30s
+	}
+	for _, c := range cases {
+		if got := GraceAfter(c.in); got != c.want {
+			t.Errorf("GraceAfter(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,7 +1,11 @@
 package logic
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
@@ -40,6 +44,57 @@ func Strash(nw *Network) (StrashResult, error) {
 			return res, nil
 		}
 	}
+}
+
+// StructuralHash returns a canonical SHA-256 digest of the network: its
+// name, the full node table in ID order (type, name, fanin list, FF reset
+// value, dead slots included so NodeIDs stay aligned), and the PI/PO/FF
+// role lists. Two networks hash equal exactly when they would serialize
+// identically, so the digest is a sound cache key for parsed-circuit and
+// estimation-result caching (internal/server): any rewrite that changes
+// structure, naming or output marking changes the key. Every field is
+// length-prefixed, so no two distinct networks collide by concatenation.
+//
+// The hash reads only immutable structure — not the lazily filled
+// topological-order cache — so concurrent calls on an unchanging network
+// are safe.
+func StructuralHash(nw *Network) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	writeIDs := func(ids []NodeID) {
+		writeInt(int64(len(ids)))
+		for _, id := range ids {
+			writeInt(int64(id))
+		}
+	}
+	writeStr(nw.Name)
+	writeInt(int64(len(nw.nodes)))
+	for _, n := range nw.nodes {
+		if n.dead {
+			writeInt(-1)
+			continue
+		}
+		writeInt(int64(n.Type))
+		writeStr(n.Name)
+		writeIDs(n.Fanin)
+		if n.InitVal {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+	}
+	writeIDs(nw.pis)
+	writeIDs(nw.pos)
+	writeIDs(nw.ffs)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // symmetric reports whether fanin order is irrelevant for the gate type.

@@ -197,3 +197,96 @@ func TestStrashOnSequential(t *testing.T) {
 		}
 	}
 }
+
+func buildHashFixture(t *testing.T) *Network {
+	t.Helper()
+	nw := New("hashfix")
+	a := nw.MustInput("a")
+	b := nw.MustInput("b")
+	g := nw.MustGate("g", And, a, b)
+	x := nw.MustGate("x", Xor, g, a)
+	if err := nw.MarkOutput(x); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestStructuralHashDeterministicAndCloneStable(t *testing.T) {
+	nw := buildHashFixture(t)
+	h1 := StructuralHash(nw)
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", h1)
+	}
+	if h2 := StructuralHash(nw); h2 != h1 {
+		t.Fatalf("repeated hash differs: %s vs %s", h1, h2)
+	}
+	// An independently built identical network and a deep clone both hash
+	// equal: the digest depends only on structure.
+	if h3 := StructuralHash(buildHashFixture(t)); h3 != h1 {
+		t.Fatalf("identical construction hashes differently: %s vs %s", h1, h3)
+	}
+	if h4 := StructuralHash(nw.Clone()); h4 != h1 {
+		t.Fatalf("clone hashes differently: %s vs %s", h1, h4)
+	}
+}
+
+func TestStructuralHashSeesEveryStructuralField(t *testing.T) {
+	base := StructuralHash(buildHashFixture(t))
+
+	// Gate type change.
+	nw := buildHashFixture(t)
+	nw.Node(nw.ByName("g")).Type = Or
+	if StructuralHash(nw) == base {
+		t.Error("gate-type change did not change the hash")
+	}
+
+	// Node rename (names are part of report bodies, so they must key).
+	nw = buildHashFixture(t)
+	n := nw.Node(nw.ByName("g"))
+	n.Name = "renamed"
+	if StructuralHash(nw) == base {
+		t.Error("rename did not change the hash")
+	}
+
+	// Output marking.
+	nw = buildHashFixture(t)
+	if err := nw.MarkOutput(nw.ByName("g")); err != nil {
+		t.Fatal(err)
+	}
+	if StructuralHash(nw) == base {
+		t.Error("extra PO did not change the hash")
+	}
+
+	// A structural rewrite (strash merging a duplicate gate) must rekey.
+	nw = buildHashFixture(t)
+	dup := nw.MustGate("gdup", And, nw.ByName("a"), nw.ByName("b"))
+	o2 := nw.MustGate("o2", Or, dup, nw.ByName("x"))
+	if err := nw.MarkOutput(o2); err != nil {
+		t.Fatal(err)
+	}
+	before := StructuralHash(nw)
+	if _, err := Strash(nw); err != nil {
+		t.Fatal(err)
+	}
+	if after := StructuralHash(nw); after == before {
+		t.Error("strash rewrite did not change the hash")
+	}
+}
+
+func TestStructuralHashFFInitValue(t *testing.T) {
+	mk := func(init bool) string {
+		nw := New("ffinit")
+		a := nw.MustInput("a")
+		q, err := nw.AddDFF("q", a, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.MarkOutput(q); err != nil {
+			t.Fatal(err)
+		}
+		return StructuralHash(nw)
+	}
+	if mk(false) == mk(true) {
+		t.Error("DFF reset value did not change the hash")
+	}
+}

@@ -163,3 +163,54 @@ func TestExactProbabilitiesCtxDeadline(t *testing.T) {
 		t.Fatal("expired deadline produced probabilities")
 	}
 }
+
+// TestBudgetTripLeavesNoStickyState is the poisoned-manager regression:
+// an estimate that trips its BDD budget and degrades must leave nothing
+// behind — no sticky manager error, no cached partial BDD — that could
+// degrade or skew a later clean estimate over the SAME network value.
+// The later estimate must be exact, non-degraded, and bit-identical to
+// what a process that never tripped a budget computes.
+func TestBudgetTripLeavesNoStickyState(t *testing.T) {
+	nw, err := circuits.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+
+	// Reference from a pristine path, before any budget trip.
+	want, err := EstimateExact(nw, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip the budget hard, twice, on the same network.
+	for i := 0; i < 2; i++ {
+		deg, err := EstimateExactCtx(context.Background(), nw, p, nil, nil,
+			ExactOptions{Budget: bdd.Budget{MaxNodes: 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !deg.Degraded {
+			t.Fatal("8-node budget on mult4 should degrade")
+		}
+	}
+
+	// A clean (ample-budget) estimate on the same path must now be exact
+	// and bit-identical to the pre-trip reference.
+	got, err := EstimateExactCtx(context.Background(), nw, p, nil, nil,
+		ExactOptions{Budget: bdd.Budget{MaxNodes: 1 << 22}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded {
+		t.Fatal("clean estimate degraded after earlier budget trips on the same network")
+	}
+	if got.Total() != want.Total() || got.Switching != want.Switching {
+		t.Fatalf("post-trip estimate differs from pristine: %v vs %v", got, want)
+	}
+	for i := range want.Nodes {
+		if want.Nodes[i] != got.Nodes[i] {
+			t.Fatalf("node %d differs after budget trips: %+v vs %+v", i, want.Nodes[i], got.Nodes[i])
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SelfCheck is lpserverd's built-in load generator and determinism gate
+// (`lpserverd -selfcheck N`). It builds a deterministic list of N mixed
+// requests — estimates across every estimator, budget-degraded estimates,
+// mutating flows, and deliberate duplicates — and replays it three ways:
+//
+//  1. sequentially against a fresh server instance,
+//  2. all-at-once concurrently against a second fresh instance,
+//  3. a small probe set against a third instance that never ran a flow.
+//
+// It then demands byte-identical status+body per request between (1) and
+// (2): concurrency must be unobservable. The probe set re-estimates every
+// circuit on (1), (2) and (3) with options no earlier request used, so
+// the answer must be recomputed from each instance's cached network — if
+// any flow had mutated a cached network instead of a clone, the loaded
+// instances would disagree with the pristine one. Finally it scrapes
+// /metrics and requires a nonzero result-cache hit count, proving the
+// duplicates actually exercised the cache rather than recomputing.
+func SelfCheck(cfg Config, n int, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if n <= 0 {
+		return fmt.Errorf("selfcheck: request count %d must be positive", n)
+	}
+	// The concurrent pass fires every request at once; ones queued behind
+	// the worker pool must not burn their deadline waiting, or the tail of
+	// a large N would 503 under concurrency but succeed sequentially and
+	// fail the comparison for scheduling (not determinism) reasons.
+	if cfg.DefaultTimeout < 2*time.Minute {
+		cfg.DefaultTimeout = 2 * time.Minute
+	}
+	if cfg.MaxTimeout < cfg.DefaultTimeout {
+		cfg.MaxTimeout = cfg.DefaultTimeout
+	}
+	reqs := selfCheckRequests(n)
+
+	seq, err := startInstance(cfg)
+	if err != nil {
+		return err
+	}
+	defer seq.close()
+	conc, err := startInstance(cfg)
+	if err != nil {
+		return err
+	}
+	defer conc.close()
+
+	logf("selfcheck: sequential pass: %d requests against %s", len(reqs), seq.base)
+	seqResps := make([]scResp, len(reqs))
+	for i, rq := range reqs {
+		seqResps[i] = seq.do(rq)
+		if seqResps[i].err != nil {
+			return fmt.Errorf("selfcheck: sequential request %d (%s): %w", i, rq.describe(), seqResps[i].err)
+		}
+	}
+
+	logf("selfcheck: concurrent pass: %d requests at once against %s", len(reqs), conc.base)
+	concResps := make([]scResp, len(reqs))
+	var wg sync.WaitGroup
+	for i, rq := range reqs {
+		wg.Add(1)
+		go func(i int, rq scReq) {
+			defer wg.Done()
+			concResps[i] = conc.do(rq)
+		}(i, rq)
+	}
+	wg.Wait()
+
+	for i := range reqs {
+		if concResps[i].err != nil {
+			return fmt.Errorf("selfcheck: concurrent request %d (%s): %w", i, reqs[i].describe(), concResps[i].err)
+		}
+		if seqResps[i].status != concResps[i].status {
+			return fmt.Errorf("selfcheck: request %d (%s): status %d sequential vs %d concurrent",
+				i, reqs[i].describe(), seqResps[i].status, concResps[i].status)
+		}
+		if !bytes.Equal(seqResps[i].body, concResps[i].body) {
+			return fmt.Errorf("selfcheck: request %d (%s): body diverged under concurrency:\nsequential: %s\nconcurrent: %s",
+				i, reqs[i].describe(), seqResps[i].body, concResps[i].body)
+		}
+	}
+	logf("selfcheck: all %d responses byte-identical between passes", len(reqs))
+
+	// Poisoning probe: estimates with options no earlier request used, so
+	// every instance must recompute from its cached network. An instance
+	// whose cache was mutated by a flow gives a different answer than the
+	// pristine instance that never ran one.
+	pristine, err := startInstance(cfg)
+	if err != nil {
+		return err
+	}
+	defer pristine.close()
+	for _, c := range selfCheckCircuits {
+		probe := scReq{path: "/v1/estimate", body: mustJSON(EstimateRequest{
+			circuitRef: circuitRef{Circuit: c},
+			Estimator:  "propagated",
+			Vectors:    777, // unique: forces a result-cache miss everywhere
+		})}
+		want := pristine.do(probe)
+		if want.err != nil {
+			return fmt.Errorf("selfcheck: probe %s on pristine instance: %w", c, want.err)
+		}
+		for name, inst := range map[string]*scInstance{"sequential": seq, "concurrent": conc} {
+			got := inst.do(probe)
+			if got.err != nil {
+				return fmt.Errorf("selfcheck: probe %s on %s instance: %w", c, name, got.err)
+			}
+			if got.status != want.status || !bytes.Equal(got.body, want.body) {
+				return fmt.Errorf("selfcheck: circuit %s: %s instance's cached network was mutated by a flow:\npristine: %s\n%s: %s",
+					c, name, want.body, name, got.body)
+			}
+		}
+	}
+	logf("selfcheck: cached networks pristine after %d mutating flow requests", countFlows(reqs))
+
+	// The duplicates in the request list must have been served from the
+	// result cache, and /metrics must show it.
+	metrics := conc.do(scReq{method: http.MethodGet, path: "/metrics"})
+	if metrics.err != nil {
+		return fmt.Errorf("selfcheck: scraping /metrics: %w", metrics.err)
+	}
+	var exported map[string]any
+	if err := json.Unmarshal(metrics.body, &exported); err != nil {
+		return fmt.Errorf("selfcheck: /metrics is not JSON: %w", err)
+	}
+	hits, _ := exported["server.cache.result.hits"].(float64)
+	if hits <= 0 {
+		return fmt.Errorf("selfcheck: server.cache.result.hits = %v, want > 0 (duplicates were not cache-served)", exported["server.cache.result.hits"])
+	}
+	logf("selfcheck: /metrics reports %d result-cache hits", int64(hits))
+	logf("selfcheck: PASS (%d requests)", len(reqs))
+	return nil
+}
+
+// selfCheckCircuits are small, fast generator circuits covering ripple,
+// carry-lookahead, comparison, parity, decode and multiply structures.
+var selfCheckCircuits = []string{"mult4", "cla8", "cmp8", "par16", "dec5", "radd8"}
+
+// scReq is one replayable request. Bodies are pre-marshalled so both
+// passes send exactly the same bytes.
+type scReq struct {
+	method string // default POST
+	path   string
+	body   []byte
+}
+
+func (r scReq) describe() string {
+	if len(r.body) == 0 {
+		return r.path
+	}
+	return r.path + " " + string(bytes.TrimSpace(r.body))
+}
+
+type scResp struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// selfCheckRequests builds the deterministic mixed workload: an 8-slot
+// rotation over the circuit list, hitting every estimator, a
+// budget-degraded estimate, two mutating flows, and a deliberate repeat
+// of slot 0's request so the result cache gets exercised.
+func selfCheckRequests(n int) []scReq {
+	reqs := make([]scReq, 0, n)
+	for i := 0; len(reqs) < n; i++ {
+		c := selfCheckCircuits[i%len(selfCheckCircuits)]
+		var body any
+		path := "/v1/estimate"
+		switch i % 8 {
+		case 0:
+			body = EstimateRequest{circuitRef: circuitRef{Circuit: c}, Estimator: "exact"}
+		case 1:
+			body = EstimateRequest{circuitRef: circuitRef{Circuit: c}, Estimator: "simulated", Vectors: 256, Seed: 3}
+		case 2:
+			// Tiny budget: trips and degrades to seeded Monte Carlo. The
+			// degraded report is deterministic, so it must byte-match too —
+			// and it must NOT poison slot 0/5's clean estimate of the same
+			// circuit (the historical sticky-manager failure mode).
+			body = EstimateRequest{circuitRef: circuitRef{Circuit: c}, Estimator: "exact", Vectors: 512, BDDMaxNodes: 16}
+		case 3:
+			body = EstimateRequest{circuitRef: circuitRef{Circuit: c}, Estimator: "propagated"}
+		case 4:
+			path = "/v1/flow"
+			body = FlowRequest{circuitRef: circuitRef{Circuit: c}, Flow: "glitch"}
+		case 5:
+			// Exact repeat of slot 0 (same circuit index parity): by the
+			// time this runs sequentially it is a guaranteed cache hit.
+			body = EstimateRequest{circuitRef: circuitRef{Circuit: c}, Estimator: "exact"}
+		case 6:
+			body = EstimateRequest{circuitRef: circuitRef{Circuit: c}, Estimator: "packed", Vectors: 256, Seed: 3}
+		case 7:
+			path = "/v1/flow"
+			body = FlowRequest{circuitRef: circuitRef{Circuit: c}, Flow: "area"}
+		}
+		reqs = append(reqs, scReq{path: path, body: mustJSON(body)})
+	}
+	return reqs
+}
+
+func countFlows(reqs []scReq) int {
+	n := 0
+	for _, r := range reqs {
+		if r.path == "/v1/flow" {
+			n++
+		}
+	}
+	return n
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // request structs always marshal
+	}
+	return b
+}
+
+// scInstance is one live server under test: a fresh *Server on a loopback
+// listener with its own client.
+type scInstance struct {
+	srv    *http.Server
+	base   string
+	client *http.Client
+}
+
+func startInstance(cfg Config) (*scInstance, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("selfcheck: listen: %w", err)
+	}
+	srv := &http.Server{Handler: New(cfg).Handler()}
+	go srv.Serve(ln)
+	return &scInstance{
+		srv:    srv,
+		base:   "http://" + ln.Addr().String(),
+		client: &http.Client{},
+	}, nil
+}
+
+func (in *scInstance) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	in.srv.Shutdown(ctx)
+}
+
+func (in *scInstance) do(rq scReq) scResp {
+	method := rq.method
+	if method == "" {
+		method = http.MethodPost
+	}
+	var body io.Reader
+	if len(rq.body) > 0 {
+		body = bytes.NewReader(rq.body)
+	}
+	req, err := http.NewRequest(method, in.base+rq.path, body)
+	if err != nil {
+		return scResp{err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := in.client.Do(req)
+	if err != nil {
+		return scResp{err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return scResp{err: err}
+	}
+	return scResp{status: resp.StatusCode, body: b}
+}

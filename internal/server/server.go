@@ -1,0 +1,762 @@
+// Package server implements lpserverd's HTTP/JSON estimation service: a
+// long-lived daemon wrapping the toolkit's power estimators and
+// optimization flows behind a small REST surface.
+//
+//	POST /v1/estimate          gate-level power report for a named generator
+//	                           circuit or an uploaded BLIF
+//	POST /v1/flow              run a named optimization flow, return the
+//	                           before/after trajectory
+//	GET  /v1/experiments/{id}  regenerate one survey experiment table
+//	GET  /v1/circuits          list generators, flows and estimators
+//	GET  /metrics              obsv registry dump (JSON)
+//	GET  /healthz              liveness probe
+//	GET  /debug/pprof/         standard pprof handlers
+//
+// Design constraints, in order:
+//
+// Determinism. Two identical requests must produce byte-identical bodies
+// no matter how many other requests are in flight — that is what makes
+// the response cache sound and what `lpserverd -selfcheck` verifies. So
+// response bodies carry only run-independent data: no wall-clock timings
+// (FlowReport.Spans are dropped), no cache status (that goes in the
+// X-Cache header), and every stochastic estimator is seeded from the
+// request. Budget-degraded exact estimates stay deterministic (the Monte
+// Carlo fallback is seeded) and are therefore cacheable; context
+// cancellations are errors and are never cached.
+//
+// Isolation. Cached *logic.Network values are shared read-only across
+// requests; estimation never mutates a network. Flows DO mutate, so
+// handleFlow clones the cached network first — a request must never be
+// able to poison the cache for later ones. For the same reason the server
+// caches no BDD managers at all: bdd.FromNetworkCtx builds a fresh
+// manager per estimate, so a budget trip in one request cannot leave a
+// sticky error behind for the next.
+//
+// Bounded work. A semaphore caps concurrent heavy computations at
+// Config.Workers; queued requests give up when their deadline expires.
+// Every request runs under a deadline (request-supplied, clamped to
+// Config.MaxTimeout) and a BDD budget, so one pathological circuit
+// degrades or times out instead of wedging a worker forever.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/obsv"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// Workers caps concurrently executing estimation/flow/experiment
+	// computations (not connections). <= 0 means GOMAXPROCS.
+	Workers int
+	// NetworkCacheSize bounds the parsed-network LRU (default 64).
+	NetworkCacheSize int
+	// ResultCacheSize bounds the response-body LRU (default 512).
+	ResultCacheSize int
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (default 30s). MaxTimeout clamps request-supplied deadlines
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds request bodies, BLIF upload included
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// DefaultBudget is the BDD budget applied to exact estimation when
+	// the request sets neither bdd_max_nodes nor bdd_max_steps. The zero
+	// value means unlimited.
+	DefaultBudget bdd.Budget
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.NetworkCacheSize <= 0 {
+		c.NetworkCacheSize = 64
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 512
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the estimation service. Create with New; it is safe for
+// concurrent use by any number of requests.
+type Server struct {
+	cfg     Config
+	sem     chan struct{} // bounded worker pool
+	nets    *lruCache     // input key -> *netEntry (shared, read-only)
+	results *lruCache     // result key -> []byte (finished response bodies)
+
+	reg       *obsv.Registry
+	reqTotal  *obsv.Counter
+	reqErrors *obsv.Counter
+	inflight  *obsv.Gauge
+	inflightN atomic.Int64 // backs the inflight gauge (Gauge has Set, not Add)
+	reqTimer  *obsv.Timer
+}
+
+// netEntry pairs a parsed network with its structural hash, computed once
+// at parse time. The network is shared read-only; mutating users clone.
+type netEntry struct {
+	nw   *logic.Network
+	hash string
+}
+
+// New builds a Server, enabling the process obsv registry so /metrics has
+// something to report.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := obsv.Enable()
+	return &Server{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.Workers),
+		nets:      newLRU(cfg.NetworkCacheSize, reg.Counter("server.cache.net.hits"), reg.Counter("server.cache.net.misses")),
+		results:   newLRU(cfg.ResultCacheSize, reg.Counter("server.cache.result.hits"), reg.Counter("server.cache.result.misses")),
+		reg:       reg,
+		reqTotal:  reg.Counter("server.requests"),
+		reqErrors: reg.Counter("server.errors"),
+		inflight:  reg.Gauge("server.inflight"),
+		reqTimer:  reg.Timer("server.request.ns"),
+	}
+}
+
+// Handler returns the routed HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/flow", s.handleFlow)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// apiError carries an HTTP status alongside the message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError maps an error to a JSON error response. Deadline expiry maps
+// to 504 (the server gave up on the computation), queue-full to 503.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.reqErrors.Inc()
+	status := http.StatusInternalServerError
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		status = ae.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for the access log only.
+		status = 499
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeCached serves a response body with its cache disposition in the
+// X-Cache header — never in the body, which must stay byte-identical
+// between a computed and a replayed response.
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// acquire claims a worker-pool slot, giving up when ctx expires while
+// queued. Callers must release() on success.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Set(float64(s.inflightN.Add(1)))
+		return nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return &apiError{status: http.StatusServiceUnavailable,
+				msg: "server busy: deadline expired while queued for a worker"}
+		}
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Set(float64(s.inflightN.Add(-1)))
+	<-s.sem
+}
+
+// decodeJSON reads a bounded request body into dst, rejecting unknown
+// fields so typos in option names fail loudly instead of being ignored.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// timeoutFor computes the request deadline: the request's timeout_ms
+// clamped to MaxTimeout, or DefaultTimeout when absent.
+func (s *Server) timeoutFor(ms int) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// circuitRef is the shared circuit-selection portion of request bodies.
+type circuitRef struct {
+	Circuit string `json:"circuit,omitempty"` // generator name (see /v1/circuits)
+	BLIF    string `json:"blif,omitempty"`    // inline BLIF text
+}
+
+// resolveNetwork returns the shared cached network for a request's
+// circuit reference, parsing and hashing on first sight. The cache key is
+// the input itself (generator name, or digest of the BLIF text); the
+// structural hash is computed once and reused as the response-cache key
+// component. Callers must treat the returned network as immutable.
+func (s *Server) resolveNetwork(ref circuitRef) (*netEntry, error) {
+	var key string
+	switch {
+	case ref.Circuit != "" && ref.BLIF != "":
+		return nil, badRequest(`specify "circuit" or "blif", not both`)
+	case ref.Circuit != "":
+		key = "gen:" + ref.Circuit
+	case ref.BLIF != "":
+		sum := sha256.Sum256([]byte(ref.BLIF))
+		key = "blif:" + hex.EncodeToString(sum[:])
+	default:
+		return nil, badRequest(`specify "circuit" or "blif"`)
+	}
+	if v, ok := s.nets.Get(key); ok {
+		return v.(*netEntry), nil
+	}
+	var nw *logic.Network
+	var err error
+	if ref.Circuit != "" {
+		nw, err = circuits.Named(ref.Circuit)
+	} else {
+		nw, err = logic.ReadBLIF(strings.NewReader(ref.BLIF))
+	}
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if err := nw.Check(); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	ent := &netEntry{nw: nw, hash: logic.StructuralHash(nw)}
+	s.nets.Put(key, ent)
+	return ent, nil
+}
+
+// budgetFor merges request budget fields with the server default.
+func (s *Server) budgetFor(maxNodes int, maxSteps int64) bdd.Budget {
+	if maxNodes == 0 && maxSteps == 0 {
+		return s.cfg.DefaultBudget
+	}
+	return bdd.Budget{MaxNodes: maxNodes, MaxSteps: maxSteps}
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/estimate
+
+// EstimateRequest selects a circuit and an activity estimator.
+type EstimateRequest struct {
+	circuitRef
+	// Estimator is one of exact (BDD, degrades to Monte Carlo on budget),
+	// propagated, simulated (timed, glitch-aware) or packed (zero-delay
+	// bit-parallel; combinational only). Default exact.
+	Estimator string `json:"estimator,omitempty"`
+	// Vectors drives the simulated/packed estimators and the exact
+	// estimator's Monte Carlo fallback (default 1000, max 65536).
+	Vectors int `json:"vectors,omitempty"`
+	// Seed makes every stochastic path reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// P1 is the one-probability applied to every primary input
+	// (default 0.5).
+	P1 *float64 `json:"p1,omitempty"`
+	// BDDMaxNodes/BDDMaxSteps bound the exact estimator's BDD; when the
+	// budget trips, the response is a seeded Monte Carlo estimate with
+	// "degraded": true. Both zero means the server default.
+	BDDMaxNodes int   `json:"bdd_max_nodes,omitempty"`
+	BDDMaxSteps int64 `json:"bdd_max_steps,omitempty"`
+	// TimeoutMS bounds the whole request (clamped to the server max).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// PowerJSON is the Eqn. 1 breakdown of a power report.
+type PowerJSON struct {
+	Total          float64 `json:"total"`
+	Switching      float64 `json:"switching"`
+	ShortCircuit   float64 `json:"short_circuit"`
+	Leakage        float64 `json:"leakage"`
+	SwitchingShare float64 `json:"switching_share"`
+	Degraded       bool    `json:"degraded"`
+	DegradeReason  string  `json:"degrade_reason,omitempty"`
+}
+
+func powerJSON(rep power.Report) PowerJSON {
+	return PowerJSON{
+		Total:          rep.Total(),
+		Switching:      rep.Switching,
+		ShortCircuit:   rep.ShortCkt,
+		Leakage:        rep.Leakage,
+		SwitchingShare: rep.SwitchingShare(),
+		Degraded:       rep.Degraded,
+		DegradeReason:  rep.DegradeReason,
+	}
+}
+
+// NodePowerJSON is one row of the top-consumers list.
+type NodePowerJSON struct {
+	Name     string  `json:"name"`
+	Cap      float64 `json:"cap"`
+	Activity float64 `json:"activity"`
+	Power    float64 `json:"power"`
+}
+
+// EstimateResponse is the /v1/estimate body. It deliberately excludes
+// anything run-dependent (timings, cache state) so identical requests get
+// byte-identical bodies.
+type EstimateResponse struct {
+	Circuit   string          `json:"circuit"`
+	Hash      string          `json:"hash"`
+	Estimator string          `json:"estimator"`
+	Gates     int             `json:"gates"`
+	Depth     int             `json:"depth"`
+	FlipFlops int             `json:"flip_flops"`
+	Power     PowerJSON       `json:"power"`
+	Top       []NodePowerJSON `json:"top_consumers"`
+	// SpuriousFraction is the glitch share of simulated transitions; only
+	// present for the simulated estimator.
+	SpuriousFraction *float64 `json:"spurious_fraction,omitempty"`
+}
+
+const maxVectors = 1 << 16
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Inc()
+	s.reg.Counter("server.requests.estimate").Inc()
+	defer s.reqTimer.Start()()
+
+	var req EstimateRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Estimator == "" {
+		req.Estimator = "exact"
+	}
+	switch req.Estimator {
+	case "exact", "propagated", "simulated", "packed":
+	default:
+		s.writeError(w, badRequest("unknown estimator %q (want exact, propagated, simulated or packed)", req.Estimator))
+		return
+	}
+	if req.Vectors <= 0 {
+		req.Vectors = 1000
+	}
+	if req.Vectors > maxVectors {
+		s.writeError(w, badRequest("vectors %d exceeds the maximum %d", req.Vectors, maxVectors))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	p1 := 0.5
+	if req.P1 != nil {
+		p1 = *req.P1
+	}
+	if p1 < 0 || p1 > 1 {
+		s.writeError(w, badRequest("p1 %g outside [0,1]", p1))
+		return
+	}
+	budget := s.budgetFor(req.BDDMaxNodes, req.BDDMaxSteps)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+
+	ent, err := s.resolveNetwork(req.circuitRef)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// The deadline (timeout_ms) is deliberately NOT part of the key: it
+	// only decides whether the computation finishes, never what it
+	// computes, and aborted computations are not cached.
+	key := fmt.Sprintf("estimate|%s|est=%s;v=%d;seed=%d;p1=%g;bn=%d;bs=%d",
+		ent.hash, req.Estimator, req.Vectors, req.Seed, p1, budget.MaxNodes, budget.MaxSteps)
+	if body, ok := s.results.Get(key); ok {
+		writeCached(w, body.([]byte), true)
+		return
+	}
+	resp, err := s.computeEstimate(ctx, ent, req.Estimator, req.Vectors, req.Seed, p1, budget)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body = append(body, '\n')
+	s.results.Put(key, body)
+	writeCached(w, body, false)
+}
+
+// computeEstimate runs one estimator over a shared (never mutated)
+// network. Everything here is deterministic given the arguments: random
+// streams are seeded, the parallel simulator is bit-identical for any
+// worker count, and the budget-degraded path uses a seeded Monte Carlo
+// fallback.
+func (s *Server) computeEstimate(ctx context.Context, ent *netEntry, estimator string, vectors int, seed int64, p1 float64, budget bdd.Budget) (*EstimateResponse, error) {
+	nw := ent.nw
+	params := power.DefaultParams()
+	inProb := power.Probabilities{}
+	for _, pi := range nw.PIs() {
+		inProb[pi] = p1
+	}
+	if len(nw.FFs()) > 0 {
+		seq, err := power.SequentialProbabilities(nw, rand.New(rand.NewSource(seed)), 2000, p1)
+		if err != nil {
+			return nil, err
+		}
+		inProb = seq
+	}
+
+	var rep power.Report
+	var spurious *float64
+	var err error
+	switch estimator {
+	case "exact":
+		rep, err = power.EstimateExactCtx(ctx, nw, params, nil, inProb,
+			power.ExactOptions{Budget: budget, MCVectors: vectors, MCSeed: seed})
+	case "propagated":
+		rep, err = power.EstimatePropagated(nw, params, nil, inProb)
+	case "simulated":
+		vecs := sim.RandomVectors(rand.New(rand.NewSource(seed)), vectors, len(nw.PIs()), p1)
+		var tot sim.Totals
+		rep, tot, err = power.EstimateSimulatedParallel(nw, params, nil, sim.UnitDelay, vecs, 0)
+		if err == nil {
+			f := tot.SpuriousFraction()
+			spurious = &f
+		}
+	case "packed":
+		if len(nw.FFs()) > 0 {
+			return nil, badRequest("packed estimator handles combinational networks only (circuit has %d flip-flops)", len(nw.FFs()))
+		}
+		vecs := sim.RandomVectors(rand.New(rand.NewSource(seed)), vectors, len(nw.PIs()), p1)
+		rep, _, err = power.EstimateZeroDelayPacked(nw, params, nil, vecs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := nw.Stats()
+	resp := &EstimateResponse{
+		Circuit:          nw.Name,
+		Hash:             ent.hash,
+		Estimator:        estimator,
+		Gates:            st.Gates,
+		Depth:            st.Levels,
+		FlipFlops:        st.FFs,
+		Power:            powerJSON(rep),
+		Top:              []NodePowerJSON{},
+		SpuriousFraction: spurious,
+	}
+	for _, np := range rep.TopConsumers(5) {
+		resp.Top = append(resp.Top, NodePowerJSON{Name: np.Name, Cap: np.Cap, Activity: np.Activity, Power: np.Total()})
+	}
+	return resp, nil
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/flow
+
+// FlowRequest selects a circuit and an optimization flow.
+type FlowRequest struct {
+	circuitRef
+	// Flow is a core.StandardFlows name: area, lowpower or glitch.
+	Flow string `json:"flow"`
+	// Seed drives the flow context's vector generation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Verify enables per-pass equivalence checking (default true; only
+	// effective for combinational networks with <= 16 inputs).
+	Verify      *bool `json:"verify,omitempty"`
+	BDDMaxNodes int   `json:"bdd_max_nodes,omitempty"`
+	BDDMaxSteps int64 `json:"bdd_max_steps,omitempty"`
+	TimeoutMS   int   `json:"timeout_ms,omitempty"`
+}
+
+// SnapshotJSON is one core.Snapshot row. PassSpan timings are
+// intentionally absent: they vary run to run and would break the
+// byte-identity contract.
+type SnapshotJSON struct {
+	Label     string  `json:"label"`
+	Gates     int     `json:"gates"`
+	Depth     int     `json:"depth"`
+	FlipFlops int     `json:"flip_flops"`
+	ExactP    float64 `json:"exact_p"`
+	SimP      float64 `json:"sim_p"`
+	Spurious  float64 `json:"spurious"`
+	Degraded  bool    `json:"degraded"`
+}
+
+// FlowResponse is the /v1/flow body: the trajectory of the flow over the
+// circuit, plus the structural hash before (cached network) and after
+// (the mutated clone — the cached network itself is never touched).
+type FlowResponse struct {
+	Circuit   string         `json:"circuit"`
+	Flow      string         `json:"flow"`
+	Hash      string         `json:"hash"`
+	FinalHash string         `json:"final_hash"`
+	Passes    []string       `json:"passes"`
+	Steps     []SnapshotJSON `json:"steps"`
+	// SimPowerRatio is final/initial simulated power (1.0 = unchanged).
+	SimPowerRatio float64 `json:"sim_power_ratio"`
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Inc()
+	s.reg.Counter("server.requests.flow").Inc()
+	defer s.reqTimer.Start()()
+
+	var req FlowRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	flows := core.StandardFlows()
+	flow, ok := flows[req.Flow]
+	if !ok {
+		names := make([]string, 0, len(flows))
+		for n := range flows {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		s.writeError(w, badRequest("unknown flow %q (want one of %s)", req.Flow, strings.Join(names, ", ")))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	verify := true
+	if req.Verify != nil {
+		verify = *req.Verify
+	}
+	budget := s.budgetFor(req.BDDMaxNodes, req.BDDMaxSteps)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+
+	ent, err := s.resolveNetwork(req.circuitRef)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key := fmt.Sprintf("flow|%s|flow=%s;seed=%d;verify=%t;bn=%d;bs=%d",
+		ent.hash, flow.Name, req.Seed, verify, budget.MaxNodes, budget.MaxSteps)
+	if body, ok := s.results.Get(key); ok {
+		writeCached(w, body.([]byte), true)
+		return
+	}
+
+	// Flows rewrite the network in place: work on a clone so the cached
+	// network stays pristine for every other request.
+	nw := ent.nw.Clone()
+	fctx := core.NewContext(nw, req.Seed)
+	fctx.Verify = verify
+	fctx.ExactBudget = budget
+	frep, err := core.RunFlowCtx(ctx, nw, flow, fctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := &FlowResponse{
+		Circuit:   nw.Name,
+		Flow:      flow.Name,
+		Hash:      ent.hash,
+		FinalHash: logic.StructuralHash(nw),
+		Passes:    flow.Passes,
+		Steps:     []SnapshotJSON{},
+	}
+	for _, snap := range frep.Steps {
+		resp.Steps = append(resp.Steps, SnapshotJSON{
+			Label: snap.Label, Gates: snap.Gates, Depth: snap.Depth,
+			FlipFlops: snap.FlipFlops, ExactP: snap.ExactP, SimP: snap.SimP,
+			Spurious: snap.Spurious, Degraded: snap.Degraded,
+		})
+	}
+	if initial := frep.Initial().SimP; initial > 0 {
+		resp.SimPowerRatio = frep.Final().SimP / initial
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body = append(body, '\n')
+	s.results.Put(key, body)
+	writeCached(w, body, false)
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/experiments/{id}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Inc()
+	s.reg.Counter("server.requests.experiment").Inc()
+	defer s.reqTimer.Start()()
+
+	id := r.PathValue("id")
+	var ex *experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			e := e
+			ex = &e
+			break
+		}
+	}
+	if ex == nil {
+		s.writeError(w, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown experiment %q", id)})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+
+	key := "experiment|" + id
+	if body, ok := s.results.Get(key); ok {
+		writeCached(w, body.([]byte), true)
+		return
+	}
+	res := experiments.RunAllCtx(ctx, []experiments.Experiment{*ex}, 1, 0)
+	if res[0].Skipped {
+		s.writeError(w, res[0].Err)
+		return
+	}
+	if res[0].Err != nil {
+		s.writeError(w, res[0].Err)
+		return
+	}
+	body, err := json.Marshal(map[string]any{"id": id, "table": res[0].Table})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body = append(body, '\n')
+	s.results.Put(key, body)
+	writeCached(w, body, false)
+}
+
+// ---------------------------------------------------------------------------
+// Introspection endpoints
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Inc()
+	flows := core.StandardFlows()
+	flowNames := make([]string, 0, len(flows))
+	for n := range flows {
+		flowNames = append(flowNames, n)
+	}
+	sort.Strings(flowNames)
+	expIDs := make([]string, 0, 20)
+	for _, e := range experiments.All() {
+		expIDs = append(expIDs, e.ID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"circuits":    circuits.GeneratorNames(),
+		"flows":       flowNames,
+		"estimators":  []string{"exact", "propagated", "simulated", "packed"},
+		"experiments": expIDs,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleMetrics dumps the process obsv registry as JSON: every counter,
+// gauge, timer and histogram, including the server.* family and the
+// estimator-internal metrics (power.exact.degraded and friends).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body, err := json.MarshalIndent(obsv.Default().Export(), "", "  ")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
