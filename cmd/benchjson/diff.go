@@ -1,26 +1,15 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
+
+	"repro/internal/benchfmt"
 )
 
 // loadReport reads an archived benchjson report.
-func loadReport(path string) (*Report, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var rep Report
-	if err := json.NewDecoder(f).Decode(&rep); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &rep, nil
-}
+func loadReport(path string) (*Report, error) { return benchfmt.Load(path) }
 
 // benchDelta is the comparison of one benchmark between two reports.
 type benchDelta struct {

@@ -1,0 +1,320 @@
+// Command lploadgen replays a deterministic mixed workload — estimates
+// across every estimator, budget-degraded estimates, mutating flows and
+// survey experiment fetches — against a running lpserverd and reports
+// serving latency percentiles, throughput, and error/degraded/cache-hit
+// rates in the repo's benchmark-report JSON schema (internal/benchfmt).
+// The output is directly diffable with `benchjson -diff`, so serving
+// regressions gate the same way kernel regressions do.
+//
+//	lpserverd -addr 127.0.0.1:8080 &
+//	lploadgen -addr http://127.0.0.1:8080 -n 200 -c 8 -o loadgen.json
+//
+// The workload is an 8-slot rotation over the generator circuits (the
+// same shape as lpserverd -selfcheck) plus experiment-table fetches, so
+// runs with equal -n hit identical request sequences. Exit status is
+// nonzero if any request fails (transport error or non-2xx status):
+// "zero errors under load" is part of the serving contract.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// genReq is one replayable request; bodies are pre-marshalled so every
+// run sends identical bytes.
+type genReq struct {
+	class  string // estimate | flow | experiment
+	method string // default POST
+	path   string
+	body   []byte
+}
+
+// genResult is the outcome of one request.
+type genResult struct {
+	class    string
+	latency  time.Duration
+	status   int
+	err      error
+	cacheHit bool
+	degraded bool
+}
+
+// circuits matches lpserverd -selfcheck's circuit set: small, fast
+// generator circuits covering ripple, carry-lookahead, comparison,
+// parity, decode and multiply structures.
+var circuits = []string{"mult4", "cla8", "cmp8", "par16", "dec5", "radd8"}
+
+// experiments are the survey experiment tables fetched by the workload.
+var experiments = []string{"E1", "E2"}
+
+// workload builds the deterministic n-request mix: the selfcheck 8-slot
+// estimator/flow rotation, with every 10th request swapped for an
+// experiment fetch so all three endpoint classes see load.
+func workload(n int) []genReq {
+	reqs := make([]genReq, 0, n)
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	for i := 0; len(reqs) < n; i++ {
+		if i%10 == 9 {
+			reqs = append(reqs, genReq{
+				class:  "experiment",
+				method: http.MethodGet,
+				path:   "/v1/experiments/" + experiments[(i/10)%len(experiments)],
+			})
+			continue
+		}
+		c := circuits[i%len(circuits)]
+		class, path := "estimate", "/v1/estimate"
+		var body any
+		switch i % 8 {
+		case 0:
+			body = map[string]any{"circuit": c, "estimator": "exact"}
+		case 1:
+			body = map[string]any{"circuit": c, "estimator": "simulated", "vectors": 256, "seed": 3}
+		case 2:
+			// Tiny budget: trips and degrades to seeded Monte Carlo, so the
+			// degraded-rate statistic is exercised on every run.
+			body = map[string]any{"circuit": c, "estimator": "exact", "vectors": 512, "bdd_max_nodes": 16}
+		case 3:
+			body = map[string]any{"circuit": c, "estimator": "propagated"}
+		case 4:
+			class, path = "flow", "/v1/flow"
+			body = map[string]any{"circuit": c, "flow": "glitch"}
+		case 5:
+			// Exact repeat of slot 0: a guaranteed result-cache hit once warm.
+			body = map[string]any{"circuit": c, "estimator": "exact"}
+		case 6:
+			body = map[string]any{"circuit": c, "estimator": "packed", "vectors": 256, "seed": 3}
+		case 7:
+			class, path = "flow", "/v1/flow"
+			body = map[string]any{"circuit": c, "flow": "area"}
+		}
+		reqs = append(reqs, genReq{class: class, path: path, body: mustJSON(body)})
+	}
+	return reqs
+}
+
+func do(client *http.Client, base string, rq genReq) genResult {
+	method := rq.method
+	if method == "" {
+		method = http.MethodPost
+	}
+	var body io.Reader
+	if len(rq.body) > 0 {
+		body = bytes.NewReader(rq.body)
+	}
+	req, err := http.NewRequest(method, base+rq.path, body)
+	if err != nil {
+		return genResult{class: rq.class, err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		return genResult{class: rq.class, latency: elapsed, err: err}
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return genResult{class: rq.class, latency: elapsed, err: err}
+	}
+	res := genResult{
+		class:    rq.class,
+		latency:  elapsed,
+		status:   resp.StatusCode,
+		cacheHit: resp.Header.Get("X-Cache") == "hit",
+		degraded: resp.Header.Get("X-Degraded") == "true",
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		res.err = fmt.Errorf("%s %s: status %d", method, rq.path, resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		res.err = fmt.Errorf("%s %s: response lacks X-Trace-Id", method, rq.path)
+	}
+	return res
+}
+
+// percentile returns the q-quantile (0..1) of sorted latencies by
+// nearest-rank on the sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// summarize folds a class of results into one benchfmt.Benchmark.
+func summarize(name string, results []genResult, wall time.Duration) benchfmt.Benchmark {
+	lat := make([]time.Duration, 0, len(results))
+	var sum time.Duration
+	var errs, degraded, hits int
+	for _, r := range results {
+		lat = append(lat, r.latency)
+		sum += r.latency
+		if r.err != nil {
+			errs++
+		}
+		if r.degraded {
+			degraded++
+		}
+		if r.cacheHit {
+			hits++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	n := len(results)
+	mean := 0.0
+	if n > 0 {
+		mean = float64(sum.Nanoseconds()) / float64(n)
+	}
+	rate := func(k int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(k) / float64(n)
+	}
+	return benchfmt.Benchmark{
+		Name:       name,
+		FullName:   name,
+		Iterations: int64(n),
+		NsPerOp:    mean,
+		Metrics: map[string]float64{
+			"p50_ns":         float64(percentile(lat, 0.50).Nanoseconds()),
+			"p95_ns":         float64(percentile(lat, 0.95).Nanoseconds()),
+			"p99_ns":         float64(percentile(lat, 0.99).Nanoseconds()),
+			"rps":            float64(n) / wall.Seconds(),
+			"error_rate":     rate(errs),
+			"degraded_rate":  rate(degraded),
+			"cache_hit_rate": rate(hits),
+		},
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the lpserverd to load")
+	n := flag.Int("n", 200, "total requests to send")
+	c := flag.Int("c", 8, "concurrent client workers")
+	out := flag.String("o", "-", "report path (- = stdout)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+	flag.Parse()
+	if *n <= 0 || *c <= 0 {
+		fmt.Fprintln(os.Stderr, "lploadgen: -n and -c must be positive")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+
+	// One warm-up probe so DNS/conn setup and lazy server init do not
+	// pollute the first measured latency, and so an unreachable server
+	// fails fast with a clear message.
+	if probe := do(client, *addr, genReq{class: "estimate", method: http.MethodGet, path: "/healthz"}); probe.err != nil {
+		fmt.Fprintf(os.Stderr, "lploadgen: server at %s not responding: %v\n", *addr, probe.err)
+		os.Exit(1)
+	}
+
+	reqs := workload(*n)
+	results := make([]genResult, len(reqs))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(reqs) {
+					return
+				}
+				results[i] = do(client, *addr, reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	byClass := map[string][]genResult{}
+	for _, r := range results {
+		byClass[r.class] = append(byClass[r.class], r)
+	}
+	rep := &benchfmt.Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Pkg:       "cmd/lploadgen",
+		Benchmarks: []benchfmt.Benchmark{
+			summarize("LoadgenOverall", results, wall),
+			summarize("LoadgenEstimate", byClass["estimate"], wall),
+			summarize("LoadgenFlow", byClass["flow"], wall),
+			summarize("LoadgenExperiments", byClass["experiment"], wall),
+		},
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lploadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.Write(w); err != nil {
+		fmt.Fprintf(os.Stderr, "lploadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	var failed int
+	for i, r := range results {
+		if r.err != nil {
+			failed++
+			if failed <= 5 {
+				fmt.Fprintf(os.Stderr, "lploadgen: request %d (%s): %v\n", i, r.class, r.err)
+			}
+		}
+	}
+	overall := rep.Benchmarks[0]
+	fmt.Fprintf(os.Stderr, "lploadgen: %d requests in %v: p50 %v p95 %v p99 %v, %.1f req/s, %d errors, %.0f%% cache hits, %.0f%% degraded\n",
+		len(results), wall.Round(time.Millisecond),
+		time.Duration(overall.Metrics["p50_ns"]).Round(time.Microsecond),
+		time.Duration(overall.Metrics["p95_ns"]).Round(time.Microsecond),
+		time.Duration(overall.Metrics["p99_ns"]).Round(time.Microsecond),
+		overall.Metrics["rps"], failed,
+		100*overall.Metrics["cache_hit_rate"], 100*overall.Metrics["degraded_rate"])
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

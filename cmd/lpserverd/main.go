@@ -45,15 +45,25 @@ func main() {
 	netCache := flag.Int("cache-networks", 64, "parsed-network LRU entries")
 	resCache := flag.Int("cache-results", 512, "response-body LRU entries")
 	selfcheck := flag.Int("selfcheck", 0, "run the N-request determinism load test instead of serving")
+	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request to stderr")
+	traceReqs := flag.Bool("trace", false, "build a span tree per request (queue, cache, engine spans)")
+	slowTrace := flag.Duration("slow-trace", 0, "dump span trees of requests slower than this as Chrome trace_event JSON (0 = off; implies -trace)")
+	traceDir := flag.String("trace-dir", "traces", "directory for slow-request trace dumps")
 	flag.Parse()
 
 	cfg := server.Config{
-		Workers:          *workers,
-		NetworkCacheSize: *netCache,
-		ResultCacheSize:  *resCache,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		DefaultBudget:    bdd.Budget{MaxNodes: *bddNodes, MaxSteps: *bddSteps},
+		Workers:            *workers,
+		NetworkCacheSize:   *netCache,
+		ResultCacheSize:    *resCache,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		DefaultBudget:      bdd.Budget{MaxNodes: *bddNodes, MaxSteps: *bddSteps},
+		TraceRequests:      *traceReqs || *slowTrace > 0,
+		SlowTraceThreshold: *slowTrace,
+		SlowTraceDir:       *traceDir,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
 	}
 
 	logger := log.New(os.Stderr, "lpserverd: ", log.LstdFlags)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/logic"
+	"repro/internal/obsv/trace"
 )
 
 // NetworkBDDs holds the global BDDs of a combinational network: one
@@ -34,6 +35,22 @@ func FromNetwork(nw *logic.Network) (*NetworkBDDs, error) {
 // matching ErrBudgetExceeded, or the context error) is returned. With a
 // zero budget and a background context it is exactly FromNetwork.
 func FromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkBDDs, error) {
+	ctx, sp := trace.Start(ctx, "bdd.build")
+	nb, err := fromNetworkCtx(ctx, nw, b)
+	if sp != nil {
+		if nb != nil {
+			sp.SetAttr("nodes", nb.M.Size())
+			sp.SetAttr("steps", nb.M.Steps())
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return nb, err
+}
+
+func fromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkBDDs, error) {
 	srcs := append(append([]logic.NodeID(nil), nw.PIs()...), nw.FFs()...)
 	m := New(len(srcs))
 	m.SetBudget(b)

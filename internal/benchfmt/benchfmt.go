@@ -1,0 +1,68 @@
+// Package benchfmt defines the repo's benchmark-report JSON schema — the
+// BENCH_<date>.json trajectory files that cmd/benchjson writes from `go
+// test -bench` output and cmd/lploadgen writes from live serving runs,
+// and that `benchjson -diff` gates regressions against. Keeping the
+// schema in one importable package means every producer emits the same
+// shape and every archived report stays diffable against every future
+// one.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Benchmark is one benchmark result: a named operation with its metric
+// pairs. Producers that are not `go test` (lploadgen) fill the same
+// fields — Iterations is the request count, NsPerOp the mean latency —
+// and park their extra statistics (p50_ns, rps, error_rate) in Metrics.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix; FullName keeps both.
+	Name       string `json:"name"`
+	FullName   string `json:"full_name"`
+	Iterations int64  `json:"iterations"`
+
+	// The standard go-test metrics, lifted out of Metrics (0 when the
+	// bench run did not report them; B/op and allocs/op need -benchmem).
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document of one BENCH_*.json entry.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads an archived report from path.
+func Load(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

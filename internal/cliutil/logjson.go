@@ -1,0 +1,67 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// logNow is a test seam: LogJSON timestamps come from here.
+var logNow = time.Now
+
+// logMu serializes writes so concurrent loggers (one goroutine per HTTP
+// request in lpserverd) never interleave bytes within a line. Each line
+// is emitted as a single Write call, which is already atomic for
+// os.File on every platform we care about; the mutex additionally covers
+// writers without that guarantee (bytes.Buffer in tests).
+var logMu sync.Mutex
+
+// LogJSON writes one machine-parseable log line to w: a flat JSON object
+// with "ts" (RFC 3339, millisecond precision, UTC) first, "event"
+// second, and the remaining fields in sorted key order, terminated by a
+// newline. Sorted keys make the lines diff- and grep-stable: the same
+// event always serializes the same way, so `grep '"endpoint":"estimate"'`
+// and byte-level golden tests both work. Values marshal with
+// encoding/json; a value that fails to marshal is replaced by its error
+// string rather than poisoning the whole line.
+func LogJSON(w io.Writer, event string, fields map[string]any) {
+	if w == nil {
+		return
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		if k == "ts" || k == "event" {
+			continue // reserved; the positional prefix wins
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var b bytes.Buffer
+	b.WriteString(`{"ts":"`)
+	b.WriteString(logNow().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(`","event":`)
+	writeJSONValue(&b, event)
+	for _, k := range keys {
+		b.WriteByte(',')
+		writeJSONValue(&b, k)
+		b.WriteByte(':')
+		writeJSONValue(&b, fields[k])
+	}
+	b.WriteString("}\n")
+
+	logMu.Lock()
+	w.Write(b.Bytes())
+	logMu.Unlock()
+}
+
+func writeJSONValue(b *bytes.Buffer, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(err.Error())
+	}
+	b.Write(enc)
+}

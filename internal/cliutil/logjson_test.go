@@ -1,0 +1,85 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogJSONFormat(t *testing.T) {
+	defer func(orig func() time.Time) { logNow = orig }(logNow)
+	logNow = func() time.Time {
+		return time.Date(2026, 8, 8, 12, 30, 45, 123_000_000, time.UTC)
+	}
+	var b bytes.Buffer
+	LogJSON(&b, "access", map[string]any{
+		"status":   200,
+		"method":   "POST",
+		"endpoint": "estimate",
+		"cache":    "hit",
+		"degraded": false,
+	})
+	got := b.String()
+	want := `{"ts":"2026-08-08T12:30:45.123Z","event":"access","cache":"hit","degraded":false,"endpoint":"estimate","method":"POST","status":200}` + "\n"
+	if got != want {
+		t.Fatalf("LogJSON line:\n got %q\nwant %q", got, want)
+	}
+	// And it must be valid JSON.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(got), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestLogJSONReservedAndNil(t *testing.T) {
+	var b bytes.Buffer
+	LogJSON(&b, "e", map[string]any{"ts": "fake", "event": "fake", "k": 1})
+	var m map[string]any
+	if err := json.Unmarshal(b.Bytes(), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	if m["event"] != "e" {
+		t.Fatalf("reserved event key was overridden: %v", m["event"])
+	}
+	if m["ts"] == "fake" {
+		t.Fatalf("reserved ts key was overridden")
+	}
+	LogJSON(nil, "e", nil) // must not panic
+}
+
+func TestLogJSONUnmarshalableValue(t *testing.T) {
+	var b bytes.Buffer
+	LogJSON(&b, "e", map[string]any{"bad": func() {}})
+	var m map[string]any
+	if err := json.Unmarshal(b.Bytes(), &m); err != nil {
+		t.Fatalf("line with unmarshalable value is not valid JSON: %v (%q)", err, b.String())
+	}
+}
+
+func TestLogJSONConcurrentLinesDoNotInterleave(t *testing.T) {
+	var b bytes.Buffer
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				LogJSON(&b, "access", map[string]any{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("interleaved/corrupt line %q: %v", ln, err)
+		}
+	}
+}

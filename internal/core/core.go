@@ -20,6 +20,7 @@ import (
 	"repro/internal/dontcare"
 	"repro/internal/logic"
 	"repro/internal/obsv"
+	"repro/internal/obsv/trace"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -89,6 +90,11 @@ func Measure(nw *logic.Network, fctx *Context, label string) (Snapshot, error) {
 // the budget trips; cancellation of ctx aborts the measurement with the
 // context's error.
 func MeasureCtx(ctx context.Context, nw *logic.Network, fctx *Context, label string) (Snapshot, error) {
+	ctx, sp := trace.Start(ctx, "core.measure")
+	if sp != nil {
+		sp.SetAttr("label", label)
+		defer sp.End()
+	}
 	st := nw.Stats()
 	snap := Snapshot{Label: label, Gates: st.Gates, Depth: st.Levels, FlipFlops: st.FFs}
 	inProb := fctx.InputProb
@@ -106,7 +112,7 @@ func MeasureCtx(ctx context.Context, nw *logic.Network, fctx *Context, label str
 	}
 	snap.ExactP = exact.Total()
 	snap.Degraded = exact.Degraded
-	rep, tot, err := power.EstimateSimulated(nw, fctx.Params, fctx.CapModel, sim.UnitDelay, fctx.Vectors)
+	rep, tot, err := power.EstimateSimulatedParallelCtx(ctx, nw, fctx.Params, fctx.CapModel, sim.UnitDelay, fctx.Vectors, 0)
 	if err != nil {
 		return snap, err
 	}
@@ -297,9 +303,12 @@ func RunFlowCtx(ctx context.Context, nw *logic.Network, flow Flow, fctx *Context
 		}
 		span := PassSpan{Name: name, Level: p.Level, StartNs: time.Since(flowStart).Nanoseconds()}
 		stop := obs.Timer("lpflow.pass." + name + ".ns").Start()
+		_, tsp := trace.Start(ctx, "pass."+name)
+		tsp.SetAttr("level", p.Level)
 		passStart := time.Now()
 		err := p.Run(nw, fctx)
 		span.DurNs = time.Since(passStart).Nanoseconds()
+		tsp.End()
 		stop()
 		if err != nil {
 			return nil, fmt.Errorf("core: pass %q: %w", name, err)
@@ -331,6 +340,12 @@ func RunFlowCtx(ctx context.Context, nw *logic.Network, flow Flow, fctx *Context
 		span.DExactP = snap.ExactP - prev.ExactP
 		span.DGates = snap.Gates - prev.Gates
 		span.DDepth = snap.Depth - prev.Depth
+		if tsp != nil {
+			// Annotating after End is fine: attrs are independent of the
+			// duration, and the trace is only exported later.
+			tsp.SetAttr("dpower", span.DPower)
+			tsp.SetAttr("dgates", span.DGates)
+		}
 		rep.Spans = append(rep.Spans, span)
 		obs.Gauge("lpflow.pass." + name + ".dpower").Set(span.DPower)
 		obs.Gauge("lpflow.pass." + name + ".dgates").Set(float64(span.DGates))

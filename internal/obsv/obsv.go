@@ -309,41 +309,38 @@ func (h *Histogram) Buckets() map[int64]int64 {
 // Export flattens the registry into a JSON-friendly map: counters become
 // int64, gauges float64, timers {count, total_ns, mean_ns} objects, and
 // histograms {count, mean, max, buckets} objects. Nil registries export an
-// empty map.
+// empty map. The map is built from the deterministically ordered snapshot
+// (name, then kind), so when one name is registered as several kinds the
+// same kind wins on every export — never a map-iteration coin flip.
 func (r *Registry) Export() map[string]interface{} {
 	out := make(map[string]interface{})
-	if r == nil {
-		return out
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for name, c := range r.counters {
-		out[name] = c.Value()
-	}
-	for name, g := range r.gauges {
-		out[name] = g.Value()
-	}
-	for name, t := range r.timers {
-		mean := 0.0
-		if n := t.Count(); n > 0 {
-			mean = float64(t.TotalNs()) / float64(n)
-		}
-		out[name] = map[string]interface{}{
-			"count":    t.Count(),
-			"total_ns": t.TotalNs(),
-			"mean_ns":  mean,
-		}
-	}
-	for name, h := range r.hists {
-		bk := make(map[string]int64)
-		for lo, n := range h.Buckets() {
-			bk[fmt.Sprintf("%d", lo)] = n
-		}
-		out[name] = map[string]interface{}{
-			"count":   h.Count(),
-			"mean":    h.Mean(),
-			"max":     h.Max(),
-			"buckets": bk,
+	for _, pt := range r.snapshot() {
+		switch pt.kind {
+		case kindCounter:
+			out[pt.name] = pt.c.Value()
+		case kindGauge:
+			out[pt.name] = pt.g.Value()
+		case kindTimer:
+			mean := 0.0
+			if n := pt.t.Count(); n > 0 {
+				mean = float64(pt.t.TotalNs()) / float64(n)
+			}
+			out[pt.name] = map[string]interface{}{
+				"count":    pt.t.Count(),
+				"total_ns": pt.t.TotalNs(),
+				"mean_ns":  mean,
+			}
+		case kindHistogram:
+			bk := make(map[string]int64)
+			for lo, n := range pt.h.Buckets() {
+				bk[fmt.Sprintf("%d", lo)] = n
+			}
+			out[pt.name] = map[string]interface{}{
+				"count":   pt.h.Count(),
+				"mean":    pt.h.Mean(),
+				"max":     pt.h.Max(),
+				"buckets": bk,
+			}
 		}
 	}
 	return out

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/logic"
 	"repro/internal/obsv"
+	"repro/internal/obsv/trace"
 )
 
 // ExactOptions configures budgeted exact estimation and its Monte Carlo
@@ -83,8 +84,11 @@ func ExactProbabilitiesCtx(ctx context.Context, nw *logic.Network, inputProb Pro
 // still getting a (degraded) result. Non-budget errors (malformed
 // networks) are returned as errors too.
 func EstimateExactCtx(ctx context.Context, nw *logic.Network, p Params, cm CapModel, inputProb Probabilities, opt ExactOptions) (Report, error) {
+	ctx, sp := trace.Start(ctx, "power.exact")
+	defer sp.End()
 	ps, err := ExactProbabilitiesCtx(ctx, nw, inputProb, opt.Budget)
 	if err == nil {
+		sp.SetAttr("degraded", false)
 		return Evaluate(nw, p, cm, ps.Activity), nil
 	}
 	if !errors.Is(err, bdd.ErrBudgetExceeded) {
@@ -98,7 +102,14 @@ func EstimateExactCtx(ctx context.Context, nw *logic.Network, p Params, cm CapMo
 	// Budget exhausted: fall back to Monte Carlo, the survey's own answer
 	// to intractable exact analysis.
 	obsv.Default().Counter("power.exact.degraded").Inc()
-	rep, mcErr := monteCarloEstimate(ctx, nw, p, cm, inputProb, opt)
+	sp.SetAttr("degraded", true)
+	sp.SetAttr("degrade_reason", err.Error())
+	mcCtx, mcSpan := trace.Start(ctx, "power.mc.fallback")
+	if mcSpan != nil {
+		mcSpan.SetAttr("vectors", opt.vectors())
+		defer mcSpan.End()
+	}
+	rep, mcErr := monteCarloEstimate(mcCtx, nw, p, cm, inputProb, opt)
 	if mcErr != nil {
 		return Report{}, fmt.Errorf("power: exact estimation exceeded budget (%v) and Monte Carlo fallback failed: %w", err, mcErr)
 	}

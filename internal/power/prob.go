@@ -192,7 +192,15 @@ func EstimateSimulated(nw *logic.Network, p Params, cm CapModel, dm sim.DelayMod
 // same report bit for bit: the vector stream is chunked deterministically
 // and each shard warm-starts from the exact settled state at its boundary.
 func EstimateSimulatedParallel(nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool, workers int) (Report, sim.Totals, error) {
-	m, err := sim.MeasureRun(nw, dm, vectors, workers)
+	return EstimateSimulatedParallelCtx(context.Background(), nw, p, cm, dm, vectors, workers)
+}
+
+// EstimateSimulatedParallelCtx is EstimateSimulatedParallel under a
+// context: cancellation stops the run before it starts, and a trace
+// carried by ctx (internal/obsv/trace) gains the simulation span. The
+// report is bit-identical to the context-free variant.
+func EstimateSimulatedParallelCtx(ctx context.Context, nw *logic.Network, p Params, cm CapModel, dm sim.DelayModel, vectors [][]bool, workers int) (Report, sim.Totals, error) {
+	m, err := sim.MeasureRunCtx(ctx, nw, dm, vectors, workers)
 	if err != nil {
 		return Report{}, sim.Totals{}, err
 	}

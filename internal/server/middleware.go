@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/obsv"
+	"repro/internal/obsv/profile"
+	"repro/internal/obsv/trace"
+)
+
+// endpoints are the stable labels request metrics and access-log lines
+// are keyed by — the route surface, not raw paths, so /v1/experiments/E7
+// and /v1/experiments/E12 land in one histogram family.
+var endpoints = []string{"estimate", "flow", "experiment", "circuits", "metrics", "healthz", "pprof", "other"}
+
+// endpointOf maps a request path to its metric label.
+func endpointOf(path string) string {
+	switch {
+	case path == "/v1/estimate":
+		return "estimate"
+	case path == "/v1/flow":
+		return "flow"
+	case strings.HasPrefix(path, "/v1/experiments/"):
+		return "experiment"
+	case path == "/v1/circuits":
+		return "circuits"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/healthz":
+		return "healthz"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	}
+	return "other"
+}
+
+// endpointMetrics is the per-endpoint serving telemetry: latency and
+// queue-wait histograms (microseconds, log2 buckets) plus an in-flight
+// gauge. Handles are created once at server construction, so the
+// per-request cost is atomic adds — no registry lookups on the hot path.
+type endpointMetrics struct {
+	latency  *obsv.Histogram // server.http.<ep>.latency_us
+	queue    *obsv.Histogram // server.http.<ep>.queue_us
+	inflight *obsv.Gauge     // server.http.<ep>.inflight
+	n        atomic.Int64    // backs the inflight gauge
+}
+
+func newEndpointMetrics(reg *obsv.Registry) map[string]*endpointMetrics {
+	out := make(map[string]*endpointMetrics, len(endpoints))
+	for _, ep := range endpoints {
+		out[ep] = &endpointMetrics{
+			latency:  reg.Histogram("server.http." + ep + ".latency_us"),
+			queue:    reg.Histogram("server.http." + ep + ".queue_us"),
+			inflight: reg.Gauge("server.http." + ep + ".inflight"),
+		}
+	}
+	return out
+}
+
+// statusWriter captures the response status for the access log. The
+// cache and degraded dispositions travel in the X-Cache / X-Degraded
+// response headers, so no body inspection is ever needed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the routed handler with the serving-telemetry layer:
+//
+//   - every request gets a process-unique trace ID, echoed in the
+//     X-Trace-Id response header and the access-log line;
+//   - when Config.TraceRequests is on, a trace.Tracer is installed in the
+//     request context, so handler/engine spans (queue.wait, resolve,
+//     power.exact, bdd.build, sim.measure, pass.*) build a span tree;
+//   - per-endpoint latency histograms and in-flight gauges update;
+//   - when Config.AccessLog is set, one key-sorted JSON line per request
+//     is emitted via cliutil.LogJSON;
+//   - requests slower than Config.SlowTraceThreshold dump their full span
+//     tree as Chrome trace_event JSON into Config.SlowTraceDir.
+//
+// None of this touches response bodies: byte-determinism (and
+// -selfcheck) are unaffected.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ep := endpointOf(r.URL.Path)
+		em := s.epMetrics[ep]
+		em.inflight.Set(float64(em.n.Add(1)))
+		defer func() { em.inflight.Set(float64(em.n.Add(-1))) }()
+
+		ctx := r.Context()
+		var root *trace.Span
+		traceID := ""
+		if s.cfg.TraceRequests {
+			ctx, root = trace.New(ctx, "http "+ep)
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+			traceID = root.TraceID()
+		} else {
+			traceID = trace.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", traceID)
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		elapsed := time.Since(start)
+		em.latency.Observe(elapsed.Microseconds())
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		cache := sw.Header().Get("X-Cache")
+		if cache == "" {
+			cache = "-"
+		}
+		degraded := sw.Header().Get("X-Degraded") == "true"
+		if root != nil {
+			root.SetAttr("status", sw.status)
+			root.SetAttr("cache", cache)
+			root.End()
+		}
+		if s.cfg.AccessLog != nil {
+			cliutil.LogJSON(s.cfg.AccessLog, "access", map[string]any{
+				"method":     r.Method,
+				"endpoint":   ep,
+				"path":       r.URL.Path,
+				"status":     sw.status,
+				"latency_us": elapsed.Microseconds(),
+				"bytes":      sw.bytes,
+				"cache":      cache,
+				"degraded":   degraded,
+				"trace":      traceID,
+			})
+		}
+		if root != nil && s.cfg.SlowTraceThreshold > 0 && elapsed >= s.cfg.SlowTraceThreshold && s.cfg.SlowTraceDir != "" {
+			s.dumpSlowTrace(root.Tracer(), ep, sw.status)
+		}
+	})
+}
+
+// dumpSlowTrace writes a request's span tree as Chrome trace_event JSON
+// (the PR 2 exporter format — loadable in Perfetto) to
+// <SlowTraceDir>/trace_<traceID>.json. Failures are counted, not fatal:
+// a full disk must never break serving.
+func (s *Server) dumpSlowTrace(t *trace.Tracer, ep string, status int) {
+	if err := os.MkdirAll(s.cfg.SlowTraceDir, 0o755); err != nil {
+		s.reg.Counter("server.trace.dump.errors").Inc()
+		return
+	}
+	path := filepath.Join(s.cfg.SlowTraceDir, "trace_"+t.ID()+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		s.reg.Counter("server.trace.dump.errors").Inc()
+		return
+	}
+	defer f.Close()
+	pt := ToProfileTrace(t, "lpserverd", fmt.Sprintf("%s %d", ep, status))
+	if err := pt.WriteJSON(f); err != nil {
+		s.reg.Counter("server.trace.dump.errors").Inc()
+		return
+	}
+	s.reg.Counter("server.trace.slow_dumps").Inc()
+}
+
+// ToProfileTrace converts a request tracer's span tree into the Chrome
+// trace_event exporter introduced for the power profiler
+// (internal/obsv/profile.Trace). Span and parent IDs ride along as args
+// so the hierarchy survives into the Perfetto details pane; spans still
+// open at capture time export with their duration so far.
+func ToProfileTrace(t *trace.Tracer, process, thread string) *profile.Trace {
+	pt := &profile.Trace{Process: process, Thread: thread}
+	for _, sd := range t.Snapshot() {
+		args := map[string]interface{}{
+			"span_id":   sd.SpanID,
+			"parent_id": sd.ParentID,
+			"trace_id":  t.ID(),
+		}
+		for k, v := range sd.Attrs {
+			args[k] = v
+		}
+		dur := sd.DurNs
+		if dur < 0 {
+			dur = 0
+		}
+		pt.Add(profile.Span{
+			Name:    sd.Name,
+			Cat:     "request",
+			StartNs: sd.StartNs,
+			DurNs:   dur,
+			Args:    args,
+		})
+	}
+	return pt
+}

@@ -46,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
@@ -61,6 +62,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/logic"
 	"repro/internal/obsv"
+	"repro/internal/obsv/trace"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -87,6 +89,22 @@ type Config struct {
 	// the request sets neither bdd_max_nodes nor bdd_max_steps. The zero
 	// value means unlimited.
 	DefaultBudget bdd.Budget
+
+	// TraceRequests installs a per-request span tree (internal/obsv/trace)
+	// in every request context: handler phases and engine internals
+	// (queue.wait, resolve, bdd.build, sim.measure, power.exact, pass.*)
+	// become spans. Off by default; X-Trace-Id is set either way, the
+	// disabled path paying only an ID generation and nil span checks.
+	TraceRequests bool
+	// AccessLog, when non-nil, receives one key-sorted JSON line per
+	// request (cliutil.LogJSON: method, endpoint, status, latency, cache
+	// and degraded dispositions, trace ID).
+	AccessLog io.Writer
+	// SlowTraceThreshold dumps the span tree of any request at least this
+	// slow as Chrome trace_event JSON into SlowTraceDir (requires
+	// TraceRequests; 0 disables).
+	SlowTraceThreshold time.Duration
+	SlowTraceDir       string
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +143,7 @@ type Server struct {
 	inflight  *obsv.Gauge
 	inflightN atomic.Int64 // backs the inflight gauge (Gauge has Set, not Add)
 	reqTimer  *obsv.Timer
+	epMetrics map[string]*endpointMetrics // per-endpoint latency/queue/inflight
 }
 
 // netEntry pairs a parsed network with its structural hash, computed once
@@ -149,6 +168,7 @@ func New(cfg Config) *Server {
 		reqErrors: reg.Counter("server.errors"),
 		inflight:  reg.Gauge("server.inflight"),
 		reqTimer:  reg.Timer("server.request.ns"),
+		epMetrics: newEndpointMetrics(reg),
 	}
 }
 
@@ -166,7 +186,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.instrument(mux)
 }
 
 // apiError carries an HTTP status alongside the message.
@@ -201,22 +221,46 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// writeCached serves a response body with its cache disposition in the
-// X-Cache header — never in the body, which must stay byte-identical
-// between a computed and a replayed response.
-func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+// cachedResult is one result-cache entry: the finished response body
+// plus its run-independent dispositions, kept out of the body itself so
+// replayed responses stay byte-identical while headers and access-log
+// lines can still report them.
+type cachedResult struct {
+	body     []byte
+	degraded bool
+}
+
+// writeCached serves a response body with its cache and degraded
+// dispositions in the X-Cache / X-Degraded headers — never in the body,
+// which must stay byte-identical between a computed and a replayed
+// response.
+func writeCached(w http.ResponseWriter, res cachedResult, hit bool) {
 	w.Header().Set("Content-Type", "application/json")
 	if hit {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
-	w.Write(body)
+	if res.degraded {
+		w.Header().Set("X-Degraded", "true")
+	}
+	w.Write(res.body)
 }
 
 // acquire claims a worker-pool slot, giving up when ctx expires while
-// queued. Callers must release() on success.
-func (s *Server) acquire(ctx context.Context) error {
+// queued. Callers must release() on success. The time spent queued is
+// recorded in the endpoint's queue-wait histogram and, when tracing is
+// on, as a queue.wait span.
+func (s *Server) acquire(ctx context.Context, ep string) error {
+	_, sp := trace.Start(ctx, "queue.wait")
+	start := time.Now()
+	err := s.acquireSlot(ctx)
+	s.epMetrics[ep].queue.Observe(time.Since(start).Microseconds())
+	sp.End()
+	return err
+}
+
+func (s *Server) acquireSlot(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Set(float64(s.inflightN.Add(1)))
@@ -270,8 +314,12 @@ type circuitRef struct {
 // circuit reference, parsing and hashing on first sight. The cache key is
 // the input itself (generator name, or digest of the BLIF text); the
 // structural hash is computed once and reused as the response-cache key
-// component. Callers must treat the returned network as immutable.
-func (s *Server) resolveNetwork(ref circuitRef) (*netEntry, error) {
+// component. Callers must treat the returned network as immutable. When
+// ctx carries a trace, the lookup/parse is a "resolve" span annotated
+// with the cache disposition.
+func (s *Server) resolveNetwork(ctx context.Context, ref circuitRef) (*netEntry, error) {
+	_, sp := trace.Start(ctx, "resolve")
+	defer sp.End()
 	var key string
 	switch {
 	case ref.Circuit != "" && ref.BLIF != "":
@@ -284,9 +332,14 @@ func (s *Server) resolveNetwork(ref circuitRef) (*netEntry, error) {
 	default:
 		return nil, badRequest(`specify "circuit" or "blif"`)
 	}
+	if sp != nil {
+		sp.SetAttr("key", key)
+	}
 	if v, ok := s.nets.Get(key); ok {
+		sp.SetAttr("cache", "hit")
 		return v.(*netEntry), nil
 	}
+	sp.SetAttr("cache", "miss")
 	var nw *logic.Network
 	var err error
 	if ref.Circuit != "" {
@@ -431,13 +484,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquire(ctx, "estimate"); err != nil {
 		s.writeError(w, err)
 		return
 	}
 	defer s.release()
 
-	ent, err := s.resolveNetwork(req.circuitRef)
+	ent, err := s.resolveNetwork(ctx, req.circuitRef)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -447,11 +500,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// computes, and aborted computations are not cached.
 	key := fmt.Sprintf("estimate|%s|est=%s;v=%d;seed=%d;p1=%g;bn=%d;bs=%d",
 		ent.hash, req.Estimator, req.Vectors, req.Seed, p1, budget.MaxNodes, budget.MaxSteps)
-	if body, ok := s.results.Get(key); ok {
-		writeCached(w, body.([]byte), true)
+	if res, ok := s.results.Get(key); ok {
+		writeCached(w, res.(cachedResult), true)
 		return
 	}
-	resp, err := s.computeEstimate(ctx, ent, req.Estimator, req.Vectors, req.Seed, p1, budget)
+	cctx, csp := trace.Start(ctx, "compute.estimate")
+	if csp != nil {
+		csp.SetAttr("estimator", req.Estimator)
+		csp.SetAttr("circuit", ent.nw.Name)
+	}
+	resp, err := s.computeEstimate(cctx, ent, req.Estimator, req.Vectors, req.Seed, p1, budget)
+	csp.End()
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -461,9 +520,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	body = append(body, '\n')
-	s.results.Put(key, body)
-	writeCached(w, body, false)
+	res := cachedResult{body: append(body, '\n'), degraded: resp.Power.Degraded}
+	s.results.Put(key, res)
+	writeCached(w, res, false)
 }
 
 // computeEstimate runs one estimator over a shared (never mutated)
@@ -498,7 +557,7 @@ func (s *Server) computeEstimate(ctx context.Context, ent *netEntry, estimator s
 	case "simulated":
 		vecs := sim.RandomVectors(rand.New(rand.NewSource(seed)), vectors, len(nw.PIs()), p1)
 		var tot sim.Totals
-		rep, tot, err = power.EstimateSimulatedParallel(nw, params, nil, sim.UnitDelay, vecs, 0)
+		rep, tot, err = power.EstimateSimulatedParallelCtx(ctx, nw, params, nil, sim.UnitDelay, vecs, 0)
 		if err == nil {
 			f := tot.SpuriousFraction()
 			spurious = &f
@@ -609,21 +668,21 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquire(ctx, "flow"); err != nil {
 		s.writeError(w, err)
 		return
 	}
 	defer s.release()
 
-	ent, err := s.resolveNetwork(req.circuitRef)
+	ent, err := s.resolveNetwork(ctx, req.circuitRef)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	key := fmt.Sprintf("flow|%s|flow=%s;seed=%d;verify=%t;bn=%d;bs=%d",
 		ent.hash, flow.Name, req.Seed, verify, budget.MaxNodes, budget.MaxSteps)
-	if body, ok := s.results.Get(key); ok {
-		writeCached(w, body.([]byte), true)
+	if res, ok := s.results.Get(key); ok {
+		writeCached(w, res.(cachedResult), true)
 		return
 	}
 
@@ -633,7 +692,13 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	fctx := core.NewContext(nw, req.Seed)
 	fctx.Verify = verify
 	fctx.ExactBudget = budget
-	frep, err := core.RunFlowCtx(ctx, nw, flow, fctx)
+	cctx, csp := trace.Start(ctx, "compute.flow")
+	if csp != nil {
+		csp.SetAttr("flow", flow.Name)
+		csp.SetAttr("circuit", nw.Name)
+	}
+	frep, err := core.RunFlowCtx(cctx, nw, flow, fctx)
+	csp.End()
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -661,9 +726,16 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	body = append(body, '\n')
-	s.results.Put(key, body)
-	writeCached(w, body, false)
+	degraded := false
+	for _, st := range resp.Steps {
+		if st.Degraded {
+			degraded = true
+			break
+		}
+	}
+	res := cachedResult{body: append(body, '\n'), degraded: degraded}
+	s.results.Put(key, res)
+	writeCached(w, res, false)
 }
 
 // ---------------------------------------------------------------------------
@@ -689,18 +761,23 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquire(ctx, "experiment"); err != nil {
 		s.writeError(w, err)
 		return
 	}
 	defer s.release()
 
 	key := "experiment|" + id
-	if body, ok := s.results.Get(key); ok {
-		writeCached(w, body.([]byte), true)
+	if res, ok := s.results.Get(key); ok {
+		writeCached(w, res.(cachedResult), true)
 		return
 	}
-	res := experiments.RunAllCtx(ctx, []experiments.Experiment{*ex}, 1, 0)
+	cctx, csp := trace.Start(ctx, "compute.experiment")
+	if csp != nil {
+		csp.SetAttr("id", id)
+	}
+	res := experiments.RunAllCtx(cctx, []experiments.Experiment{*ex}, 1, 0)
+	csp.End()
 	if res[0].Skipped {
 		s.writeError(w, res[0].Err)
 		return
@@ -714,9 +791,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	body = append(body, '\n')
-	s.results.Put(key, body)
-	writeCached(w, body, false)
+	cr := cachedResult{body: append(body, '\n')}
+	s.results.Put(key, cr)
+	writeCached(w, cr, false)
 }
 
 // ---------------------------------------------------------------------------
@@ -748,10 +825,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("{\"status\":\"ok\"}\n"))
 }
 
-// handleMetrics dumps the process obsv registry as JSON: every counter,
-// gauge, timer and histogram, including the server.* family and the
-// estimator-internal metrics (power.exact.degraded and friends).
+// handleMetrics dumps the process obsv registry: every counter, gauge,
+// timer and histogram, including the server.* family, the per-endpoint
+// server.http.* latency/queue histograms and the estimator-internal
+// metrics (power.exact.degraded and friends). The default is the JSON
+// export; ?format=prom switches to Prometheus text exposition with
+// dotted names sanitized to underscore form (obsv.WritePrometheus).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obsv.Default().WritePrometheus(w); err != nil {
+			s.reqErrors.Inc()
+		}
+		return
+	}
 	body, err := json.MarshalIndent(obsv.Default().Export(), "", "  ")
 	if err != nil {
 		s.writeError(w, err)

@@ -407,7 +407,7 @@ func TestAcquireReturns503WhenPoolFullPastDeadline(t *testing.T) {
 	defer func() { <-s.sem }()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	err := s.acquire(ctx)
+	err := s.acquire(ctx, "estimate")
 	var ae *apiError
 	if !errors.As(err, &ae) || ae.status != http.StatusServiceUnavailable {
 		t.Fatalf("acquire on a full pool = %v, want a 503 apiError", err)

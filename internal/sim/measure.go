@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"repro/internal/logic"
+	"repro/internal/obsv/trace"
 )
 
 // Measure is the merged result of a (possibly parallel) event-driven
@@ -64,6 +66,34 @@ const minChunk = 64
 // vector, so every chunk reproduces exactly the events of the sequential
 // run over its cycles.
 func MeasureRun(nw *logic.Network, dm DelayModel, vectors [][]bool, workers int) (*Measure, error) {
+	return MeasureRunCtx(context.Background(), nw, dm, vectors, workers)
+}
+
+// MeasureRunCtx is MeasureRun under a context: it refuses to start after
+// cancellation and, when the context carries a trace (see
+// internal/obsv/trace), records the whole run as a "sim.measure" span
+// annotated with cycle/worker/transition counts. The numeric results are
+// bit-identical to MeasureRun — the context influences only whether the
+// run starts and what gets observed, never what is computed.
+func MeasureRunCtx(ctx context.Context, nw *logic.Network, dm DelayModel, vectors [][]bool, workers int) (*Measure, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, sp := trace.Start(ctx, "sim.measure")
+	m, err := measureRun(nw, dm, vectors, workers)
+	if sp != nil {
+		sp.SetAttr("cycles", len(vectors))
+		sp.SetAttr("workers", workers)
+		if err == nil {
+			sp.SetAttr("transitions", m.Totals.Transitions)
+			sp.SetAttr("spurious", m.Totals.Spurious)
+		}
+		sp.End()
+	}
+	return m, err
+}
+
+func measureRun(nw *logic.Network, dm DelayModel, vectors [][]bool, workers int) (*Measure, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
