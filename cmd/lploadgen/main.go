@@ -8,11 +8,17 @@
 //
 //	lpserverd -addr 127.0.0.1:8080 &
 //	lploadgen -addr http://127.0.0.1:8080 -n 200 -c 8 -o loadgen.json
+//	lploadgen -addr http://127.0.0.1:8080 -duration 30s -warmup 50
 //
 // The workload is an 8-slot rotation over the generator circuits (the
 // same shape as lpserverd -selfcheck) plus experiment-table fetches, so
-// runs with equal -n hit identical request sequences. Exit status is
-// nonzero if any request fails (transport error or non-2xx status):
+// runs with equal -n hit identical request sequences. With -duration
+// the workload cycles until the deadline instead of stopping at -n;
+// -warmup excludes the first K dispatched requests from the reported
+// percentiles (the split is recorded in the report as the
+// warmup_requests / measured_requests metrics, and the measured wall
+// clock starts when dispatch passes the warm-up boundary). Exit status
+// is nonzero if any request fails (transport error or non-2xx status):
 // "zero errors under load" is part of the serving contract.
 package main
 
@@ -217,15 +223,100 @@ func summarize(name string, results []genResult, wall time.Duration) benchfmt.Be
 	}
 }
 
+// runResult is one load run split at the warm-up boundary.
+type runResult struct {
+	all      []genResult // every finished request, dispatch order
+	measured []genResult // the post-warm-up slice of all
+	warmup   int         // requests excluded as warm-up
+	wall     time.Duration
+}
+
+// run dispatches the workload across workers goroutines and collects
+// results in dispatch order. Count mode (duration == 0) stops after
+// total requests; duration mode cycles the workload until the deadline.
+// The first warmup dispatched requests are split out of measured, and
+// the measured wall clock restarts when dispatch crosses the warm-up
+// boundary — so percentiles and throughput describe only warm, steady
+// traffic.
+func run(client *http.Client, base string, reqs []genReq, workers, total int, duration time.Duration, warmup int) runResult {
+	start := time.Now()
+	var deadline time.Time
+	if duration > 0 {
+		deadline = start.Add(duration)
+	}
+	type indexed struct {
+		i int
+		r genResult
+	}
+	var (
+		mu            sync.Mutex
+		next          int
+		done          []indexed
+		measuredStart = start
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if duration > 0 {
+					if !time.Now().Before(deadline) {
+						mu.Unlock()
+						return
+					}
+				} else if next >= total {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				if warmup > 0 && i == warmup {
+					measuredStart = time.Now()
+				}
+				mu.Unlock()
+				r := do(client, base, reqs[i%len(reqs)])
+				mu.Lock()
+				done = append(done, indexed{i: i, r: r})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wallEnd := time.Now()
+	sort.Slice(done, func(a, b int) bool { return done[a].i < done[b].i })
+	rr := runResult{wall: wallEnd.Sub(measuredStart)}
+	for _, d := range done {
+		rr.all = append(rr.all, d.r)
+		if d.i < warmup {
+			rr.warmup++
+		} else {
+			rr.measured = append(rr.measured, d.r)
+		}
+	}
+	return rr
+}
+
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the lpserverd to load")
-	n := flag.Int("n", 200, "total requests to send")
+	n := flag.Int("n", 200, "total requests to send (count mode; also the cycle length with -duration)")
 	c := flag.Int("c", 8, "concurrent client workers")
 	out := flag.String("o", "-", "report path (- = stdout)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+	duration := flag.Duration("duration", 0, "run for this long, cycling the workload, instead of stopping at -n")
+	warmup := flag.Int("warmup", 0, "exclude the first K dispatched requests from the reported percentiles")
 	flag.Parse()
 	if *n <= 0 || *c <= 0 {
 		fmt.Fprintln(os.Stderr, "lploadgen: -n and -c must be positive")
+		os.Exit(2)
+	}
+	if *warmup < 0 {
+		fmt.Fprintln(os.Stderr, "lploadgen: -warmup must be >= 0")
+		os.Exit(2)
+	}
+	if *duration == 0 && *warmup >= *n {
+		fmt.Fprintln(os.Stderr, "lploadgen: -warmup must leave at least one measured request (warmup < n)")
 		os.Exit(2)
 	}
 
@@ -239,35 +330,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	reqs := workload(*n)
-	results := make([]genResult, len(reqs))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < *c; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(reqs) {
-					return
-				}
-				results[i] = do(client, *addr, reqs[i])
-			}
-		}()
-	}
-	wg.Wait()
-	wall := time.Since(start)
+	rr := run(client, *addr, workload(*n), *c, *n, *duration, *warmup)
+	wall := rr.wall
 
 	byClass := map[string][]genResult{}
-	for _, r := range results {
+	for _, r := range rr.measured {
 		byClass[r.class] = append(byClass[r.class], r)
 	}
+	overallBench := summarize("LoadgenOverall", rr.measured, wall)
+	overallBench.Metrics["warmup_requests"] = float64(rr.warmup)
+	overallBench.Metrics["measured_requests"] = float64(len(rr.measured))
 	rep := &benchfmt.Report{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -275,7 +347,7 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Pkg:       "cmd/lploadgen",
 		Benchmarks: []benchfmt.Benchmark{
-			summarize("LoadgenOverall", results, wall),
+			overallBench,
 			summarize("LoadgenEstimate", byClass["estimate"], wall),
 			summarize("LoadgenFlow", byClass["flow"], wall),
 			summarize("LoadgenExperiments", byClass["experiment"], wall),
@@ -297,8 +369,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Errors fail the run even when they happened during warm-up: the
+	// warm-up split shapes the report, not the serving contract.
 	var failed int
-	for i, r := range results {
+	for i, r := range rr.all {
 		if r.err != nil {
 			failed++
 			if failed <= 5 {
@@ -307,8 +381,8 @@ func main() {
 		}
 	}
 	overall := rep.Benchmarks[0]
-	fmt.Fprintf(os.Stderr, "lploadgen: %d requests in %v: p50 %v p95 %v p99 %v, %.1f req/s, %d errors, %.0f%% cache hits, %.0f%% degraded\n",
-		len(results), wall.Round(time.Millisecond),
+	fmt.Fprintf(os.Stderr, "lploadgen: %d requests (%d warm-up) in %v: p50 %v p95 %v p99 %v, %.1f req/s, %d errors, %.0f%% cache hits, %.0f%% degraded\n",
+		len(rr.all), rr.warmup, wall.Round(time.Millisecond),
 		time.Duration(overall.Metrics["p50_ns"]).Round(time.Microsecond),
 		time.Duration(overall.Metrics["p95_ns"]).Round(time.Microsecond),
 		time.Duration(overall.Metrics["p99_ns"]).Round(time.Microsecond),

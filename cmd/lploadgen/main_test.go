@@ -1,0 +1,104 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// stubServer answers every request instantly with the headers the
+// loadgen contract checks (X-Trace-Id present).
+func stubServer() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Trace-Id", "t-1")
+		if r.URL.Path == "/v1/estimate" {
+			w.Header().Set("X-Cache", "hit")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{}\n"))
+	}))
+}
+
+func TestWorkloadDeterministicShape(t *testing.T) {
+	a, b := workload(40), workload(40)
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("workload sizes %d/%d, want 40", len(a), len(b))
+	}
+	classes := map[string]int{}
+	for i := range a {
+		if a[i].class != b[i].class || a[i].path != b[i].path || string(a[i].body) != string(b[i].body) {
+			t.Fatalf("workload not deterministic at %d", i)
+		}
+		classes[a[i].class]++
+	}
+	for _, cl := range []string{"estimate", "flow", "experiment"} {
+		if classes[cl] == 0 {
+			t.Fatalf("workload has no %s requests: %v", cl, classes)
+		}
+	}
+}
+
+// TestRunCountModeWarmupSplit pins the warm-up accounting: exactly the
+// first K dispatched requests are excluded from the measured slice,
+// and every request still lands in all.
+func TestRunCountModeWarmupSplit(t *testing.T) {
+	ts := stubServer()
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	rr := run(client, ts.URL, workload(40), 4, 40, 0, 10)
+	if len(rr.all) != 40 {
+		t.Fatalf("all = %d, want 40", len(rr.all))
+	}
+	if rr.warmup != 10 || len(rr.measured) != 30 {
+		t.Fatalf("split = %d warm-up / %d measured, want 10/30", rr.warmup, len(rr.measured))
+	}
+	if rr.wall <= 0 {
+		t.Fatalf("measured wall = %v, want > 0", rr.wall)
+	}
+	for i, r := range rr.all {
+		if r.err != nil {
+			t.Fatalf("request %d failed: %v", i, r.err)
+		}
+	}
+	// Results are in dispatch order: the measured slice is exactly
+	// all[10:], class by class.
+	for i, r := range rr.measured {
+		if r.class != rr.all[10+i].class {
+			t.Fatalf("measured[%d] class %q != all[%d] class %q", i, r.class, 10+i, rr.all[10+i].class)
+		}
+	}
+}
+
+// TestRunDurationModeCyclesWorkload runs time-bounded against a stub
+// fast enough that the 16-request workload must cycle.
+func TestRunDurationModeCyclesWorkload(t *testing.T) {
+	ts := stubServer()
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	reqs := workload(16)
+	rr := run(client, ts.URL, reqs, 4, 16, 300*time.Millisecond, 0)
+	if len(rr.all) <= len(reqs) {
+		t.Fatalf("duration mode sent %d requests, want > %d (workload must cycle)", len(rr.all), len(reqs))
+	}
+	if rr.warmup != 0 || len(rr.measured) != len(rr.all) {
+		t.Fatalf("no-warm-up split wrong: %d/%d/%d", rr.warmup, len(rr.measured), len(rr.all))
+	}
+}
+
+// TestRunWarmupLargerThanDispatched leaves measured empty instead of
+// panicking when the deadline cuts the run short of the boundary.
+func TestRunWarmupLargerThanDispatched(t *testing.T) {
+	ts := stubServer()
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	rr := run(client, ts.URL, workload(8), 2, 8, 0, 0)
+	if len(rr.measured) != 8 || rr.warmup != 0 {
+		t.Fatalf("zero warm-up count mode: %d/%d", rr.warmup, len(rr.measured))
+	}
+	// Summarize over an empty measured slice must stay finite.
+	b := summarize("Empty", nil, time.Second)
+	if b.Iterations != 0 || b.NsPerOp != 0 {
+		t.Fatalf("empty summary: %+v", b)
+	}
+}

@@ -1,0 +1,110 @@
+// Command lptop is a terminal dashboard for a running lpserverd: it
+// polls GET /v1/status and renders the rolling-window serving picture
+// — per-endpoint request rates, latency percentiles, error/degraded
+// fractions, cache hit ratios — plus the SLO error-budget verdicts.
+//
+//	lpserverd -addr 127.0.0.1:8080 &
+//	lptop -addr http://127.0.0.1:8080            # live, redraws every 2s
+//	lptop -addr http://127.0.0.1:8080 -once      # one snapshot, no ANSI
+//
+// -once prints a single plain snapshot and exits (CI smoke asserts on
+// that output); live mode clears the screen between polls with plain
+// ANSI escapes — no terminal library, no dependencies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// fetchStatus pulls one status snapshot from the server.
+func fetchStatus(client *http.Client, base string) (server.StatusResponse, error) {
+	var st server.StatusResponse
+	resp, err := client.Get(base + "/v1/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return st, fmt.Errorf("GET /v1/status: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("GET /v1/status: %v", err)
+	}
+	return st, nil
+}
+
+// render formats one status snapshot as a plain-text dashboard. Pure
+// function of the snapshot — the unit tests pin its output.
+func render(st server.StatusResponse) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lpserverd status   slo: %-6s window: %-4s uptime: %s\n",
+		st.SLO, st.Window, (time.Duration(st.NowNS) * time.Nanosecond).Round(time.Second))
+	b.WriteString("\n")
+
+	if len(st.Objectives) > 0 {
+		fmt.Fprintf(&b, "%-14s %-7s", "OBJECTIVE", "STATE")
+		for _, bp := range st.Objectives[0].Burn {
+			fmt.Fprintf(&b, " %12s", "burn("+bp.Horizon+")")
+		}
+		b.WriteString("\n")
+		for _, v := range st.Objectives {
+			fmt.Fprintf(&b, "%-14s %-7s", v.Objective, v.State)
+			for _, bp := range v.Burn {
+				fmt.Fprintf(&b, " %12.2f", bp.Burn)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "%-11s %7s %8s %6s %6s %7s %5s %8s %8s %8s %8s\n",
+		"ENDPOINT", "REQ", "RPS", "ERR%", "DEGR%", "CACHE%", "INFL",
+		"P50us", "P95us", "P99us", "MAXus")
+	for _, e := range st.Endpoints {
+		fmt.Fprintf(&b, "%-11s %7d %8.2f %6.1f %6.1f %7.1f %5d %8d %8d %8d %8d\n",
+			e.Endpoint, e.Requests, e.RateRPS,
+			100*e.ErrorFraction, 100*e.DegradedFraction, 100*e.CacheHitRatio,
+			e.Inflight, e.P50US, e.P95US, e.P99US, e.MaxUS)
+	}
+	return b.String()
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the lpserverd to watch")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval in live mode")
+	once := flag.Bool("once", false, "print one snapshot and exit (no ANSI)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-poll client timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	if *once {
+		st, err := fetchStatus(client, *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lptop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(render(st))
+		return
+	}
+	for {
+		st, err := fetchStatus(client, *addr)
+		// \x1b[2J clears the screen, \x1b[H homes the cursor.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("lptop: %v (retrying every %v)\n", err, *interval)
+		} else {
+			fmt.Print(render(st))
+		}
+		time.Sleep(*interval)
+	}
+}

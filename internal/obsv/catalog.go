@@ -1,0 +1,130 @@
+package obsv
+
+import (
+	"sort"
+	"strings"
+)
+
+// MetricInfo is one metric family's exposition metadata: the
+// Prometheus type its registered kind maps to and a one-line help
+// text. The catalog below is the single source of truth — DESIGN.md's
+// metric-name table mirrors it, WritePrometheus emits it as
+// `# HELP`/`# TYPE` lines, and TestCatalogTypesMatchKinds pins the
+// declared types to the kinds the code actually registers.
+type MetricInfo struct {
+	// Type is the Prometheus family type: "counter", "gauge" or
+	// "histogram". Timers expose as two counters (<name>_count,
+	// <name>_ns_total) and are declared "timer" here.
+	Type string
+	Help string
+}
+
+// catalog maps metric names to their metadata. A name segment of "*"
+// matches exactly one dotted segment, so per-endpoint and per-pass
+// families need a single row (`server.http.*.latency_us`,
+// `lpflow.pass.*.ns`).
+var catalog = map[string]MetricInfo{
+	"sim.events":    {Type: "counter", Help: "Gate-output transitions processed by the event-driven simulator."},
+	"sim.spurious":  {Type: "counter", Help: "Glitch transitions (events minus useful transitions)."},
+	"sim.cycles":    {Type: "counter", Help: "Clock cycles simulated."},
+	"sim.queue.hwm": {Type: "gauge", Help: "High-water mark of pending event-queue evaluations."},
+	"sim.settle":    {Type: "histogram", Help: "Per-cycle settle times, log2 buckets."},
+
+	"bdd.unique.hits":     {Type: "counter", Help: "Unique-table hits in the ROBDD mk operation."},
+	"bdd.unique.misses":   {Type: "counter", Help: "Unique-table misses in the ROBDD mk operation."},
+	"bdd.ite.hits":        {Type: "counter", Help: "ITE computed-cache hits."},
+	"bdd.ite.misses":      {Type: "counter", Help: "ITE computed-cache misses."},
+	"bdd.nodes":           {Type: "gauge", Help: "High-water BDD node count per manager."},
+	"bdd.budget.exceeded": {Type: "counter", Help: "BDD work budgets tripped (node or step cap hit)."},
+
+	"power.exact.nodes":    {Type: "counter", Help: "Nodes evaluated by the exact (BDD) estimator."},
+	"power.exact.degraded": {Type: "counter", Help: "Exact estimates degraded to seeded Monte Carlo on budget trip."},
+	"power.prop.nodes":     {Type: "counter", Help: "Nodes propagated by the independence-assumption estimator."},
+	"power.density.diffs":  {Type: "counter", Help: "Boolean differences computed by the density estimator."},
+
+	"lpflow.pass.*.ns":     {Type: "timer", Help: "Wall time of one optimization flow pass."},
+	"lpflow.pass.*.dpower": {Type: "gauge", Help: "Simulated-power delta of the pass (negative = saved)."},
+	"lpflow.pass.*.dgates": {Type: "gauge", Help: "Gate-count delta of the pass."},
+
+	"server.requests":            {Type: "counter", Help: "HTTP API requests accepted."},
+	"server.requests.estimate":   {Type: "counter", Help: "POST /v1/estimate requests."},
+	"server.requests.flow":       {Type: "counter", Help: "POST /v1/flow requests."},
+	"server.requests.experiment": {Type: "counter", Help: "GET /v1/experiments/{id} requests."},
+	"server.errors":              {Type: "counter", Help: "Requests answered with an error response."},
+	"server.inflight":            {Type: "gauge", Help: "Heavy computations currently holding a worker slot."},
+	"server.request.ns":          {Type: "timer", Help: "End-to-end handler time of API requests."},
+	"server.cache.net.hits":      {Type: "counter", Help: "Parsed-network cache hits."},
+	"server.cache.net.misses":    {Type: "counter", Help: "Parsed-network cache misses."},
+	"server.cache.result.hits":   {Type: "counter", Help: "Response-body cache hits."},
+	"server.cache.result.misses": {Type: "counter", Help: "Response-body cache misses."},
+	"server.http.*.latency_us":   {Type: "histogram", Help: "Per-endpoint request latency in microseconds, log2 buckets."},
+	"server.http.*.queue_us":     {Type: "histogram", Help: "Per-endpoint worker-pool queue wait in microseconds."},
+	"server.http.*.inflight":     {Type: "gauge", Help: "Requests currently being served, per endpoint."},
+	"server.trace.slow_dumps":    {Type: "counter", Help: "Slow-request span trees dumped as Chrome trace JSON."},
+	"server.trace.dump.errors":   {Type: "counter", Help: "Failed slow-trace dumps (never fatal to serving)."},
+
+	// Rolling-window status series (GET /v1/status and the rows folded
+	// into /metrics?format=prom). These are labeled gauges written by
+	// internal/server from window snapshots, not registry metrics; they
+	// live here so HELP text and DESIGN.md share one source of truth.
+	"server.window.requests":          {Type: "gauge", Help: "Requests inside the rolling window, per endpoint."},
+	"server.window.request_rate":      {Type: "gauge", Help: "Windowed request rate in requests per second, per endpoint."},
+	"server.window.errors":            {Type: "gauge", Help: "5xx responses inside the rolling window, per endpoint."},
+	"server.window.latency_us":        {Type: "gauge", Help: "Windowed latency quantiles in microseconds, per endpoint (quantile label)."},
+	"server.window.degraded_fraction": {Type: "gauge", Help: "Fraction of windowed requests answered degraded, per endpoint."},
+	"server.window.cache_hit_ratio":   {Type: "gauge", Help: "Result-cache hit ratio over the window, per endpoint."},
+	"server.slo.burn":                 {Type: "gauge", Help: "Error-budget burn rate per objective and horizon (1 = budget consumed exactly at its sustained limit)."},
+	"server.slo.state":                {Type: "gauge", Help: "Objective state: 0 ok, 1 warn, 2 breach."},
+}
+
+// LookupMetricInfo returns the catalog entry for a metric name: an
+// exact match first, then the unique pattern whose "*" segments cover
+// the name. Unknown names return ok=false — exposition still works,
+// just without a HELP line.
+func LookupMetricInfo(name string) (MetricInfo, bool) {
+	if mi, ok := catalog[name]; ok {
+		return mi, true
+	}
+	parts := strings.Split(name, ".")
+	for pat, mi := range catalog {
+		if !strings.Contains(pat, "*") {
+			continue
+		}
+		if matchSegments(strings.Split(pat, "."), parts) {
+			return mi, true
+		}
+	}
+	return MetricInfo{}, false
+}
+
+// matchSegments reports whether every pattern segment equals the
+// corresponding name segment, with "*" matching any single segment.
+func matchSegments(pat, name []string) bool {
+	if len(pat) != len(name) {
+		return false
+	}
+	for i := range pat {
+		if pat[i] != "*" && pat[i] != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CatalogNames returns every catalog key, sorted — for tests and for
+// keeping DESIGN.md's table in sync.
+func CatalogNames() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// promHelpEscape escapes a HELP text per the exposition format:
+// backslash and newline only.
+func promHelpEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLookupMetricInfoExactAndPattern(t *testing.T) {
+	mi, ok := LookupMetricInfo("server.requests")
+	if !ok || mi.Type != "counter" || mi.Help == "" {
+		t.Fatalf("exact lookup failed: %+v %v", mi, ok)
+	}
+	mi, ok = LookupMetricInfo("server.http.estimate.latency_us")
+	if !ok || mi.Type != "histogram" {
+		t.Fatalf("wildcard lookup failed: %+v %v", mi, ok)
+	}
+	mi, ok = LookupMetricInfo("lpflow.pass.remap.ns")
+	if !ok || mi.Type != "timer" {
+		t.Fatalf("wildcard timer lookup failed: %+v %v", mi, ok)
+	}
+	// "*" matches exactly one segment — not zero, not two.
+	if _, ok := LookupMetricInfo("server.http.latency_us"); ok {
+		t.Fatal("wildcard must not match zero segments")
+	}
+	if _, ok := LookupMetricInfo("server.http.a.b.latency_us"); ok {
+		t.Fatal("wildcard must not match two segments")
+	}
+	if _, ok := LookupMetricInfo("no.such.metric"); ok {
+		t.Fatal("unknown name must miss")
+	}
+}
+
+// TestCatalogTypesValid pins every catalog row to a legal family type
+// and a non-empty, single-line help text.
+func TestCatalogTypesValid(t *testing.T) {
+	valid := map[string]bool{"counter": true, "gauge": true, "timer": true, "histogram": true}
+	names := CatalogNames()
+	if len(names) < 20 {
+		t.Fatalf("catalog suspiciously small: %d entries", len(names))
+	}
+	for _, n := range names {
+		mi, ok := LookupMetricInfo(strings.ReplaceAll(n, "*", "x"))
+		if !ok {
+			t.Errorf("catalog name %q does not resolve through LookupMetricInfo", n)
+			continue
+		}
+		if !valid[mi.Type] {
+			t.Errorf("catalog %q has invalid type %q", n, mi.Type)
+		}
+		if mi.Help == "" || strings.ContainsAny(mi.Help, "\n") {
+			t.Errorf("catalog %q help must be one non-empty line", n)
+		}
+	}
+}
+
+// TestCatalogTypesMatchRegisteredKinds registers one metric of each
+// catalogued server/sim family against a fresh registry and asserts
+// the exposition's TYPE lines agree with the catalog's declared types
+// — the catalog cannot drift from what the code registers.
+func TestCatalogTypesMatchRegisteredKinds(t *testing.T) {
+	r := NewRegistry()
+	samples := map[string]string{
+		"server.requests":                 "counter",
+		"server.inflight":                 "gauge",
+		"server.request.ns":               "timer",
+		"sim.settle":                      "histogram",
+		"server.http.estimate.latency_us": "histogram",
+		"lpflow.pass.remap.ns":            "timer",
+	}
+	for name, typ := range samples {
+		mi, ok := LookupMetricInfo(name)
+		if !ok {
+			t.Fatalf("%q missing from catalog", name)
+		}
+		if mi.Type != typ {
+			t.Fatalf("catalog type for %q = %q, registered kind is %q", name, mi.Type, typ)
+		}
+		switch typ {
+		case "counter":
+			r.Counter(name).Add(1)
+		case "gauge":
+			r.Gauge(name).Set(1)
+		case "timer":
+			r.Timer(name).Observe(time.Nanosecond)
+		case "histogram":
+			r.Histogram(name).Observe(1)
+		}
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for name, typ := range samples {
+		san := SanitizeProm(name)
+		mi, _ := LookupMetricInfo(name)
+		switch typ {
+		case "timer":
+			for _, fam := range []string{san + "_count", san + "_ns_total"} {
+				if !strings.Contains(out, "# HELP "+fam+" ") {
+					t.Errorf("missing HELP for timer family %s", fam)
+				}
+				if !strings.Contains(out, "# TYPE "+fam+" counter\n") {
+					t.Errorf("missing TYPE for timer family %s", fam)
+				}
+			}
+		default:
+			want := "# HELP " + san + " " + mi.Help + "\n# TYPE " + san + " " + typ + "\n"
+			if !strings.Contains(out, want) {
+				t.Errorf("exposition missing adjacent HELP+TYPE for %s:\nwant %q\nin:\n%s", name, want, out)
+			}
+		}
+	}
+}
+
+func TestPromHelpEscape(t *testing.T) {
+	if got := promHelpEscape(`back\slash` + "\nnewline"); got != `back\\slash\nnewline` {
+		t.Fatalf("promHelpEscape = %q", got)
+	}
+}
+
+// TestUncataloguedMetricStillExposes checks the degradation path: a
+// metric with no catalog row gets a TYPE line but no HELP line.
+func TestUncataloguedMetricStillExposes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("totally.unknown.metric").Add(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE totally_unknown_metric counter\ntotally_unknown_metric 3\n") {
+		t.Fatalf("uncatalogued metric missing: %s", out)
+	}
+	if strings.Contains(out, "# HELP totally_unknown_metric") {
+		t.Fatalf("uncatalogued metric must not get a HELP line: %s", out)
+	}
+}

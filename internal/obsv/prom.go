@@ -122,14 +122,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		var err error
 		switch pt.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, pt.c.Value())
+			if err = writeFamilyHeader(w, name, pt.name, "counter", ""); err == nil {
+				_, err = fmt.Fprintf(w, "%s %d\n", name, pt.c.Value())
+			}
 		case kindGauge:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, pt.g.Value())
+			if err = writeFamilyHeader(w, name, pt.name, "gauge", ""); err == nil {
+				_, err = fmt.Fprintf(w, "%s %g\n", name, pt.g.Value())
+			}
 		case kindTimer:
-			_, err = fmt.Fprintf(w, "# TYPE %s_count counter\n%s_count %d\n# TYPE %s_ns_total counter\n%s_ns_total %d\n",
-				name, name, pt.t.Count(), name, name, pt.t.TotalNs())
+			if err = writeFamilyHeader(w, name+"_count", pt.name, "counter", " (event count)"); err == nil {
+				_, err = fmt.Fprintf(w, "%s_count %d\n", name, pt.t.Count())
+			}
+			if err == nil {
+				if err = writeFamilyHeader(w, name+"_ns_total", pt.name, "counter", " (total nanoseconds)"); err == nil {
+					_, err = fmt.Fprintf(w, "%s_ns_total %d\n", name, pt.t.TotalNs())
+				}
+			}
 		case kindHistogram:
-			err = writePromHistogram(w, name, pt.h)
+			err = writePromHistogram(w, name, pt.name, pt.h)
 		}
 		if err != nil {
 			return err
@@ -138,12 +148,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// writeFamilyHeader writes the metadata lines of one exposition
+// family: a `# HELP` line when the raw (dotted) name has a catalog
+// entry, then the `# TYPE` line. suffix qualifies derived families
+// (a timer's _count / _ns_total) that share one catalog row.
+func writeFamilyHeader(w io.Writer, family, rawName, promType, suffix string) error {
+	if mi, ok := LookupMetricInfo(rawName); ok && mi.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, promHelpEscape(mi.Help+suffix)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, promType)
+	return err
+}
+
 // writePromHistogram emits one histogram family. The obsv histogram's
 // log2 bucket i counts observations v with bits.Len64(v) == i, i.e. the
 // value range [2^(i-1), 2^i - 1] (bucket 0 holds exactly v == 0), so the
 // cumulative le bound of bucket i is 2^i - 1.
-func writePromHistogram(w io.Writer, name string, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+func writePromHistogram(w io.Writer, name, rawName string, h *Histogram) error {
+	if err := writeFamilyHeader(w, name, rawName, "histogram", ""); err != nil {
 		return err
 	}
 	var cum int64

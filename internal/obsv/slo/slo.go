@@ -1,0 +1,235 @@
+// Package slo turns rolling-window telemetry into service-level
+// verdicts: declare an Objective (an allowed bad-event fraction — the
+// error budget), track good/bad events against multiple rolling
+// horizons (internal/obsv/window), and evaluate burn rates into
+// ok / warn / breach states.
+//
+// The burn rate of a horizon is its observed bad fraction divided by
+// the budget: burn 1.0 means the service is consuming its budget
+// exactly as fast as the objective allows, burn 10 means a full
+// budget period burns in a tenth of the time. Evaluation follows the
+// multi-window discipline: a state only escalates when EVERY horizon
+// burns past the threshold — the short horizon proves the problem is
+// happening now, the long horizon proves it is sustained — and
+// recovers as soon as the short horizon drains. That keeps single
+// stray errors from paging and keeps verdicts from flapping.
+//
+// Everything is deterministic under an injected window.Clock, and
+// Verdict marshals to stable JSON (slices, not maps), so SLO output
+// can be asserted byte-for-byte in tests.
+package slo
+
+import (
+	"time"
+
+	"repro/internal/obsv/window"
+)
+
+// State is an objective's health.
+type State int
+
+const (
+	// OK: every horizon burns below the warn threshold.
+	OK State = iota
+	// Warn: every horizon burns at or past WarnBurn.
+	Warn
+	// Breach: every horizon burns at or past BreachBurn.
+	Breach
+)
+
+// String renders the state as its JSON form: "ok", "warn", "breach".
+func (s State) String() string {
+	switch s {
+	case Warn:
+		return "warn"
+	case Breach:
+		return "breach"
+	default:
+		return "ok"
+	}
+}
+
+// Worst returns the most severe of the given states (OK when empty).
+func Worst(states ...State) State {
+	w := OK
+	for _, s := range states {
+		if s > w {
+			w = s
+		}
+	}
+	return w
+}
+
+// Objective declares one service-level objective as an error budget.
+type Objective struct {
+	// Name labels the objective in verdicts ("availability",
+	// "latency", "degraded").
+	Name string
+	// Budget is the allowed bad-event fraction, e.g. 0.001 for 99.9%
+	// availability. Must be > 0.
+	Budget float64
+	// WarnBurn / BreachBurn are the burn-rate thresholds (defaults 1
+	// and 10): warn when the budget is being consumed at its sustained
+	// limit, breach when it burns an order of magnitude faster.
+	WarnBurn   float64
+	BreachBurn float64
+	// MinEvents is the fewest in-window events a horizon needs before
+	// its burn counts (default 1); emptier horizons read burn 0, so a
+	// fresh process is ok, not breached.
+	MinEvents int64
+}
+
+func (o Objective) withDefaults() Objective {
+	if o.WarnBurn <= 0 {
+		o.WarnBurn = 1
+	}
+	if o.BreachBurn <= 0 {
+		o.BreachBurn = 10
+	}
+	if o.MinEvents <= 0 {
+		o.MinEvents = 1
+	}
+	return o
+}
+
+// Horizon is one rolling evaluation window.
+type Horizon struct {
+	// Label names the horizon in verdicts ("5m", "1h").
+	Label string
+	// Span is the window length.
+	Span time.Duration
+	// Buckets is the ring resolution (default 30).
+	Buckets int
+}
+
+// DefaultHorizons is the standard fast/slow pair: 5 minutes at 10s
+// resolution and 1 hour at 1m resolution.
+func DefaultHorizons() []Horizon {
+	return []Horizon{
+		{Label: "5m", Span: 5 * time.Minute, Buckets: 30},
+		{Label: "1h", Span: time.Hour, Buckets: 60},
+	}
+}
+
+// trackedHorizon pairs a horizon with its rolling tallies.
+type trackedHorizon struct {
+	label string
+	total *window.Counter
+	bad   *window.Counter
+}
+
+// Tracker accumulates good/bad events for one objective across its
+// horizons. All methods are safe for concurrent use and valid on a
+// nil receiver (observations no-op, evaluation returns an ok verdict
+// for an empty objective).
+type Tracker struct {
+	obj Objective
+	hs  []trackedHorizon
+}
+
+// NewTracker builds a tracker for obj over the given horizons (nil
+// means DefaultHorizons) using clock (nil means window.Monotonic).
+func NewTracker(obj Objective, clock window.Clock, horizons []Horizon) *Tracker {
+	obj = obj.withDefaults()
+	if len(horizons) == 0 {
+		horizons = DefaultHorizons()
+	}
+	t := &Tracker{obj: obj}
+	for _, h := range horizons {
+		buckets := h.Buckets
+		if buckets <= 0 {
+			buckets = 30
+		}
+		t.hs = append(t.hs, trackedHorizon{
+			label: h.Label,
+			total: window.NewCounter(h.Span, buckets, clock),
+			bad:   window.NewCounter(h.Span, buckets, clock),
+		})
+	}
+	return t
+}
+
+// Observe records one event, bad or good, into every horizon.
+func (t *Tracker) Observe(bad bool) {
+	if bad {
+		t.ObserveN(1, 1)
+	} else {
+		t.ObserveN(1, 0)
+	}
+}
+
+// ObserveN records total events of which bad were bad.
+func (t *Tracker) ObserveN(total, bad int64) {
+	if t == nil {
+		return
+	}
+	for i := range t.hs {
+		t.hs[i].total.Add(total)
+		t.hs[i].bad.Add(bad)
+	}
+}
+
+// BurnPoint is one horizon's contribution to a verdict.
+type BurnPoint struct {
+	Horizon     string  `json:"horizon"`
+	Events      int64   `json:"events"`
+	Bad         int64   `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	Burn        float64 `json:"burn"`
+}
+
+// Verdict is the evaluated state of one objective.
+type Verdict struct {
+	Objective string      `json:"objective"`
+	Budget    float64     `json:"budget"`
+	State     string      `json:"state"`
+	Burn      []BurnPoint `json:"burn"`
+}
+
+// Evaluate computes the burn rate of every horizon and folds them
+// into a state. A nil tracker evaluates to an ok verdict with no
+// burn points.
+func (t *Tracker) Evaluate() Verdict {
+	if t == nil {
+		return Verdict{State: OK.String(), Burn: []BurnPoint{}}
+	}
+	v := Verdict{Objective: t.obj.Name, Budget: t.obj.Budget, Burn: make([]BurnPoint, 0, len(t.hs))}
+	minBurn := -1.0
+	for i := range t.hs {
+		h := &t.hs[i]
+		pt := BurnPoint{Horizon: h.label, Events: h.total.Total(), Bad: h.bad.Total()}
+		if pt.Events >= t.obj.MinEvents && pt.Events > 0 {
+			pt.BadFraction = float64(pt.Bad) / float64(pt.Events)
+			if t.obj.Budget > 0 {
+				pt.Burn = pt.BadFraction / t.obj.Budget
+			}
+		}
+		if minBurn < 0 || pt.Burn < minBurn {
+			minBurn = pt.Burn
+		}
+		v.Burn = append(v.Burn, pt)
+	}
+	state := OK
+	switch {
+	case minBurn >= t.obj.BreachBurn && minBurn > 0:
+		state = Breach
+	case minBurn >= t.obj.WarnBurn && minBurn > 0:
+		state = Warn
+	}
+	v.State = state.String()
+	return v
+}
+
+// EvaluateState is Evaluate reduced to the state alone.
+func (t *Tracker) EvaluateState() State {
+	if t == nil {
+		return OK
+	}
+	switch t.Evaluate().State {
+	case "breach":
+		return Breach
+	case "warn":
+		return Warn
+	}
+	return OK
+}

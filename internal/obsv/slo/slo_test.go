@@ -1,0 +1,196 @@
+package slo
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped monotonic clock.
+type fakeClock struct{ now atomic.Int64 }
+
+func (f *fakeClock) Now() int64              { return f.now.Load() }
+func (f *fakeClock) Advance(d time.Duration) { f.now.Add(int64(d)) }
+
+// testHorizons is a fast/slow pair scaled down so tests step through
+// full windows without huge loops: 10s at 1s resolution, 60s at 5s.
+func testHorizons() []Horizon {
+	return []Horizon{
+		{Label: "10s", Span: 10 * time.Second, Buckets: 10},
+		{Label: "1m", Span: time.Minute, Buckets: 12},
+	}
+}
+
+func TestStateStringAndWorst(t *testing.T) {
+	if OK.String() != "ok" || Warn.String() != "warn" || Breach.String() != "breach" {
+		t.Fatal("State strings wrong")
+	}
+	if Worst() != OK || Worst(OK, Warn, OK) != Warn || Worst(Warn, Breach) != Breach {
+		t.Fatal("Worst wrong")
+	}
+}
+
+func TestNilTrackerIsNoop(t *testing.T) {
+	var tr *Tracker
+	tr.Observe(true)
+	tr.ObserveN(10, 10)
+	v := tr.Evaluate()
+	if v.State != "ok" || len(v.Burn) != 0 {
+		t.Fatalf("nil tracker verdict = %+v, want ok/empty", v)
+	}
+	if tr.EvaluateState() != OK {
+		t.Fatal("nil tracker state must be OK")
+	}
+}
+
+// TestVerdictFlipsOnErrorBurst injects a synthetic availability burst:
+// healthy traffic evaluates ok, a sustained error burst breaches every
+// horizon, and draining the windows recovers to ok.
+func TestVerdictFlipsOnErrorBurst(t *testing.T) {
+	fc := &fakeClock{}
+	tr := NewTracker(Objective{Name: "availability", Budget: 0.001}, fc.Now, testHorizons())
+
+	// Healthy traffic across both windows.
+	for i := 0; i < 60; i++ {
+		tr.Observe(false)
+		fc.Advance(time.Second)
+	}
+	v := tr.Evaluate()
+	if v.State != "ok" {
+		t.Fatalf("healthy traffic state = %q, want ok: %+v", v.State, v)
+	}
+	if len(v.Burn) != 2 || v.Burn[0].Horizon != "10s" || v.Burn[1].Horizon != "1m" {
+		t.Fatalf("burn points wrong: %+v", v.Burn)
+	}
+	if v.Burn[0].Burn != 0 || v.Burn[1].Burn != 0 {
+		t.Fatalf("healthy burn nonzero: %+v", v.Burn)
+	}
+
+	// Error burst: 100% failures for 30s. Both horizons' bad fraction
+	// rockets past 10x budget -> breach.
+	for i := 0; i < 30; i++ {
+		tr.Observe(true)
+		fc.Advance(time.Second)
+	}
+	v = tr.Evaluate()
+	if v.State != "breach" {
+		t.Fatalf("burst state = %q, want breach: %+v", v.State, v)
+	}
+	if v.Burn[0].BadFraction != 1.0 {
+		t.Fatalf("short-horizon bad fraction = %g, want 1.0", v.Burn[0].BadFraction)
+	}
+
+	// Recovery: healthy traffic again. As soon as the short horizon
+	// drains (10s of good traffic), the multi-window rule de-escalates
+	// even though the long horizon still remembers the burst.
+	for i := 0; i < 11; i++ {
+		tr.Observe(false)
+		fc.Advance(time.Second)
+	}
+	v = tr.Evaluate()
+	if v.State != "ok" {
+		t.Fatalf("post-recovery state = %q, want ok: %+v", v.State, v)
+	}
+	if v.Burn[1].Bad == 0 {
+		t.Fatal("long horizon should still remember the burst")
+	}
+}
+
+// TestVerdictFlipsOnLatencyBurst drives the latency-threshold shape:
+// "bad" = slower than the objective's threshold, here synthesized by
+// the caller. A partial burst lands in warn, not breach.
+func TestVerdictFlipsOnLatencyBurst(t *testing.T) {
+	fc := &fakeClock{}
+	tr := NewTracker(Objective{Name: "latency", Budget: 0.05}, fc.Now, testHorizons())
+
+	// 20% of requests slow: burn lands between 1x and 10x budget on
+	// every horizon -> warn, not breach.
+	for i := 0; i < 60; i++ {
+		tr.Observe(i%5 == 0)
+		fc.Advance(time.Second)
+	}
+	v := tr.Evaluate()
+	if v.State != "warn" {
+		t.Fatalf("10%% slow state = %q, want warn: %+v", v.State, v)
+	}
+
+	// Full burst: everything slow. Burn = 20 -> breach.
+	for i := 0; i < 60; i++ {
+		tr.Observe(true)
+		fc.Advance(time.Second)
+	}
+	if got := tr.EvaluateState(); got != Breach {
+		t.Fatalf("full burst state = %v, want Breach", got)
+	}
+
+	// Idle windows fully drain -> ok (no events, burn 0).
+	fc.Advance(2 * time.Minute)
+	if got := tr.EvaluateState(); got != OK {
+		t.Fatalf("drained state = %v, want OK", got)
+	}
+}
+
+// TestShortBlipDoesNotBreach is the point of multi-window evaluation:
+// a blip that saturates the short horizon but barely moves the long
+// one must not escalate to breach.
+func TestShortBlipDoesNotBreach(t *testing.T) {
+	fc := &fakeClock{}
+	tr := NewTracker(Objective{Name: "availability", Budget: 0.1}, fc.Now, testHorizons())
+
+	// 55s of healthy traffic, then 3 seconds of errors.
+	for i := 0; i < 55; i++ {
+		tr.Observe(false)
+		fc.Advance(time.Second)
+	}
+	for i := 0; i < 3; i++ {
+		tr.Observe(true)
+		fc.Advance(time.Second)
+	}
+	v := tr.Evaluate()
+	// Short horizon: 3/10 bad -> burn 3. Long horizon: 3/58 -> burn
+	// ~0.52. min burn < 1 -> ok.
+	if v.State != "ok" {
+		t.Fatalf("short blip state = %q, want ok: %+v", v.State, v)
+	}
+	if v.Burn[0].Burn < 1 {
+		t.Fatalf("short horizon should be hot: %+v", v.Burn[0])
+	}
+}
+
+func TestMinEventsSuppressesEmptyHorizons(t *testing.T) {
+	fc := &fakeClock{}
+	tr := NewTracker(Objective{Name: "availability", Budget: 0.001, MinEvents: 5}, fc.Now, testHorizons())
+	// A single error with MinEvents 5: burn must stay 0.
+	tr.Observe(true)
+	v := tr.Evaluate()
+	if v.State != "ok" || v.Burn[0].Burn != 0 {
+		t.Fatalf("below MinEvents: %+v, want ok/zero burn", v)
+	}
+	// Past MinEvents the same fraction counts.
+	for i := 0; i < 5; i++ {
+		tr.Observe(true)
+	}
+	if got := tr.EvaluateState(); got != Breach {
+		t.Fatalf("past MinEvents state = %v, want Breach", got)
+	}
+}
+
+// TestVerdictJSONStable pins the JSON shape lptop and CI grep against.
+func TestVerdictJSONStable(t *testing.T) {
+	fc := &fakeClock{}
+	tr := NewTracker(Objective{Name: "availability", Budget: 0.001}, fc.Now, testHorizons())
+	tr.ObserveN(4, 0)
+	b1, err := json.Marshal(tr.Evaluate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(tr.Evaluate())
+	if string(b1) != string(b2) {
+		t.Fatalf("verdict JSON not stable:\n%s\n%s", b1, b2)
+	}
+	want := `{"objective":"availability","budget":0.001,"state":"ok","burn":[{"horizon":"10s","events":4,"bad":0,"bad_fraction":0,"burn":0},{"horizon":"1m","events":4,"bad":0,"bad_fraction":0,"burn":0}]}`
+	if string(b1) != want {
+		t.Fatalf("verdict JSON = %s\nwant %s", b1, want)
+	}
+}

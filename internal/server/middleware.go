@@ -18,7 +18,7 @@ import (
 // endpoints are the stable labels request metrics and access-log lines
 // are keyed by — the route surface, not raw paths, so /v1/experiments/E7
 // and /v1/experiments/E12 land in one histogram family.
-var endpoints = []string{"estimate", "flow", "experiment", "circuits", "metrics", "healthz", "pprof", "other"}
+var endpoints = []string{"estimate", "flow", "experiment", "circuits", "metrics", "status", "healthz", "pprof", "other"}
 
 // endpointOf maps a request path to its metric label.
 func endpointOf(path string) string {
@@ -33,6 +33,8 @@ func endpointOf(path string) string {
 		return "circuits"
 	case path == "/metrics":
 		return "metrics"
+	case path == "/v1/status":
+		return "status"
 	case path == "/healthz":
 		return "healthz"
 	case strings.HasPrefix(path, "/debug/pprof"):
@@ -41,21 +43,24 @@ func endpointOf(path string) string {
 	return "other"
 }
 
-// endpointMetrics is the per-endpoint serving telemetry: latency and
-// queue-wait histograms (microseconds, log2 buckets) plus an in-flight
-// gauge. Handles are created once at server construction, so the
-// per-request cost is atomic adds — no registry lookups on the hot path.
-type endpointMetrics struct {
+// endpointStats is the per-endpoint cumulative serving telemetry:
+// latency and queue-wait histograms (microseconds, log2 buckets) plus
+// an in-flight gauge. The rolling-window half lives alongside in
+// telemetry.eps, keyed by the same labels. Every handle is created by
+// newEndpointStats — called exactly once, from initTelemetry, before
+// the server serves anything — so the per-request cost is atomic adds:
+// no registry lookups, no map writes, no first-request allocations.
+type endpointStats struct {
 	latency  *obsv.Histogram // server.http.<ep>.latency_us
 	queue    *obsv.Histogram // server.http.<ep>.queue_us
 	inflight *obsv.Gauge     // server.http.<ep>.inflight
 	n        atomic.Int64    // backs the inflight gauge
 }
 
-func newEndpointMetrics(reg *obsv.Registry) map[string]*endpointMetrics {
-	out := make(map[string]*endpointMetrics, len(endpoints))
+func newEndpointStats(reg *obsv.Registry) map[string]*endpointStats {
+	out := make(map[string]*endpointStats, len(endpoints))
 	for _, ep := range endpoints {
-		out[ep] = &endpointMetrics{
+		out[ep] = &endpointStats{
 			latency:  reg.Histogram("server.http." + ep + ".latency_us"),
 			queue:    reg.Histogram("server.http." + ep + ".queue_us"),
 			inflight: reg.Gauge("server.http." + ep + ".inflight"),
@@ -104,9 +109,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // -selfcheck) are unaffected.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := s.clock()
 		ep := endpointOf(r.URL.Path)
-		em := s.epMetrics[ep]
+		em := s.stats[ep]
 		em.inflight.Set(float64(em.n.Add(1)))
 		defer func() { em.inflight.Set(float64(em.n.Add(-1))) }()
 
@@ -126,7 +131,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 
-		elapsed := time.Since(start)
+		elapsed := time.Duration(s.clock() - start)
 		em.latency.Observe(elapsed.Microseconds())
 		if sw.status == 0 {
 			sw.status = http.StatusOK
@@ -136,6 +141,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			cache = "-"
 		}
 		degraded := sw.Header().Get("X-Degraded") == "true"
+		s.tel.record(ep, sw.status, elapsed, cache, degraded)
 		if root != nil {
 			root.SetAttr("status", sw.status)
 			root.SetAttr("cache", cache)

@@ -9,6 +9,7 @@
 //	GET  /v1/experiments/{id}  regenerate one survey experiment table
 //	GET  /v1/circuits          list generators, flows and estimators
 //	GET  /metrics              obsv registry dump (JSON)
+//	GET  /v1/status            rolling-window serving report and SLO verdicts
 //	GET  /healthz              liveness probe
 //	GET  /debug/pprof/         standard pprof handlers
 //
@@ -53,6 +54,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +65,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obsv"
 	"repro/internal/obsv/trace"
+	"repro/internal/obsv/window"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -105,6 +108,24 @@ type Config struct {
 	// TraceRequests; 0 disables).
 	SlowTraceThreshold time.Duration
 	SlowTraceDir       string
+
+	// Clock is the monotonic clock behind all rolling-window telemetry
+	// and request timing (default window.Monotonic). Tests inject a
+	// stepped fake clock to make GET /v1/status byte-deterministic.
+	Clock window.Clock
+	// ShortWindow is the rolling span /v1/status reports over and the
+	// fast SLO horizon (default 5m). LongWindow is the slow, sustained
+	// SLO horizon (default 1h).
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// SLOLatencyThreshold marks a request "slow" for the latency
+	// objective (default 2s).
+	SLOLatencyThreshold time.Duration
+	// DisableWindowTelemetry skips constructing the rolling-window
+	// layer entirely: recording becomes nil-receiver no-ops and
+	// /v1/status reports zeros. Exists so the middleware overhead
+	// benchmark has an honest baseline.
+	DisableWindowTelemetry bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +147,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = 5 * time.Minute
+	}
+	if c.LongWindow <= 0 {
+		c.LongWindow = time.Hour
+	}
+	if c.SLOLatencyThreshold <= 0 {
+		c.SLOLatencyThreshold = 2 * time.Second
+	}
 	return c
 }
 
@@ -143,7 +173,16 @@ type Server struct {
 	inflight  *obsv.Gauge
 	inflightN atomic.Int64 // backs the inflight gauge (Gauge has Set, not Add)
 	reqTimer  *obsv.Timer
-	epMetrics map[string]*endpointMetrics // per-endpoint latency/queue/inflight
+
+	// Per-endpoint and rolling-window telemetry. Both maps are built
+	// exactly once (initTelemetry, sync.Once) before the server is
+	// returned and are never mutated afterwards, so the request path
+	// reads them without locks and the first request allocates nothing
+	// the thousandth doesn't.
+	telOnce sync.Once
+	clock   window.Clock
+	stats   map[string]*endpointStats
+	tel     *telemetry
 }
 
 // netEntry pairs a parsed network with its structural hash, computed once
@@ -158,7 +197,7 @@ type netEntry struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := obsv.Enable()
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.Workers),
 		nets:      newLRU(cfg.NetworkCacheSize, reg.Counter("server.cache.net.hits"), reg.Counter("server.cache.net.misses")),
@@ -168,8 +207,24 @@ func New(cfg Config) *Server {
 		reqErrors: reg.Counter("server.errors"),
 		inflight:  reg.Gauge("server.inflight"),
 		reqTimer:  reg.Timer("server.request.ns"),
-		epMetrics: newEndpointMetrics(reg),
 	}
+	s.initTelemetry()
+	return s
+}
+
+// initTelemetry builds every per-endpoint metric handle and rolling
+// window behind one sync.Once: a single construction path, fully done
+// before the first request, so concurrent first requests race on
+// nothing and the hot path never consults the registry.
+func (s *Server) initTelemetry() {
+	s.telOnce.Do(func() {
+		s.clock = s.cfg.Clock
+		if s.clock == nil {
+			s.clock = window.Monotonic
+		}
+		s.stats = newEndpointStats(s.reg)
+		s.tel = newTelemetry(s.cfg)
+	})
 }
 
 // Handler returns the routed HTTP handler for the service.
@@ -181,6 +236,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -253,9 +309,9 @@ func writeCached(w http.ResponseWriter, res cachedResult, hit bool) {
 // on, as a queue.wait span.
 func (s *Server) acquire(ctx context.Context, ep string) error {
 	_, sp := trace.Start(ctx, "queue.wait")
-	start := time.Now()
+	start := s.clock()
 	err := s.acquireSlot(ctx)
-	s.epMetrics[ep].queue.Observe(time.Since(start).Microseconds())
+	s.stats[ep].queue.Observe(time.Duration(s.clock() - start).Microseconds())
 	sp.End()
 	return err
 }
@@ -836,7 +892,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := obsv.Default().WritePrometheus(w); err != nil {
 			s.reqErrors.Inc()
+			return
 		}
+		// Fold the rolling-window/SLO series in after the registry so
+		// one scrape sees both the cumulative and the windowed picture.
+		writeStatusProm(w, s.statusSnapshot())
 		return
 	}
 	body, err := json.MarshalIndent(obsv.Default().Export(), "", "  ")

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/obsv/slo"
+	"repro/internal/obsv/window"
+)
+
+// telemetry is the continuous (rolling-window) half of the serving
+// instrumentation: per-endpoint windowed counters and latency
+// histograms plus the SLO trackers, all driven by the server's
+// injectable monotonic clock. A nil *telemetry (Config.
+// DisableWindowTelemetry) makes every record call a no-op and the
+// status report read zeros — that is the baseline the middleware
+// overhead benchmark compares against.
+type telemetry struct {
+	clock     window.Clock
+	shortSpan time.Duration
+	eps       map[string]*endpointWindows
+
+	// SLO trackers, fed only by the computation endpoints
+	// (estimate/flow/experiment) so that metrics/healthz polling can
+	// never dilute an error burst out of the budget math.
+	availability *slo.Tracker
+	latency      *slo.Tracker
+	degraded     *slo.Tracker
+	latencyBad   time.Duration
+}
+
+// endpointWindows is one endpoint's rolling-window instruments.
+type endpointWindows struct {
+	requests  *window.Counter
+	errors    *window.Counter
+	degraded  *window.Counter
+	cacheHits *window.Counter
+	cacheMiss *window.Counter
+	latency   *window.Histogram
+}
+
+// statusBuckets is the ring resolution of the short status window: a
+// 5m window advances in 10s steps.
+const statusBuckets = 30
+
+// newTelemetry builds the rolling-window layer for a config, or nil
+// when window telemetry is disabled.
+func newTelemetry(cfg Config) *telemetry {
+	if cfg.DisableWindowTelemetry {
+		return nil
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = window.Monotonic
+	}
+	t := &telemetry{
+		clock:      clock,
+		shortSpan:  cfg.ShortWindow,
+		eps:        make(map[string]*endpointWindows, len(endpoints)),
+		latencyBad: cfg.SLOLatencyThreshold,
+	}
+	for _, ep := range endpoints {
+		t.eps[ep] = &endpointWindows{
+			requests:  window.NewCounter(cfg.ShortWindow, statusBuckets, clock),
+			errors:    window.NewCounter(cfg.ShortWindow, statusBuckets, clock),
+			degraded:  window.NewCounter(cfg.ShortWindow, statusBuckets, clock),
+			cacheHits: window.NewCounter(cfg.ShortWindow, statusBuckets, clock),
+			cacheMiss: window.NewCounter(cfg.ShortWindow, statusBuckets, clock),
+			latency:   window.NewHistogram(cfg.ShortWindow, statusBuckets, clock),
+		}
+	}
+	horizons := []slo.Horizon{
+		{Label: durLabel(cfg.ShortWindow), Span: cfg.ShortWindow, Buckets: statusBuckets},
+		{Label: durLabel(cfg.LongWindow), Span: cfg.LongWindow, Buckets: statusBuckets * 2},
+	}
+	t.availability = slo.NewTracker(slo.Objective{Name: "availability", Budget: 0.001}, clock, horizons)
+	t.latency = slo.NewTracker(slo.Objective{Name: "latency", Budget: 0.05}, clock, horizons)
+	// lploadgen intentionally degrades a slice of its traffic via tiny
+	// BDD budgets, so the degraded objective's budget is generous: it
+	// exists to catch "everything suddenly degrades", not normal load.
+	t.degraded = slo.NewTracker(slo.Objective{Name: "degraded", Budget: 0.5}, clock, horizons)
+	return t
+}
+
+// sloEndpoints are the endpoint labels whose requests feed the SLO
+// trackers: the ones that run real computations.
+func sloEndpoint(ep string) bool {
+	return ep == "estimate" || ep == "flow" || ep == "experiment"
+}
+
+// record feeds one finished request into the rolling windows. Safe on
+// a nil receiver (telemetry disabled) and allocation-free on the hot
+// path.
+func (t *telemetry) record(ep string, status int, elapsed time.Duration, cache string, degraded bool) {
+	if t == nil {
+		return
+	}
+	ew := t.eps[ep]
+	if ew == nil {
+		return
+	}
+	ew.requests.Inc()
+	if status >= 500 {
+		ew.errors.Inc()
+	}
+	if degraded {
+		ew.degraded.Inc()
+	}
+	switch cache {
+	case "hit":
+		ew.cacheHits.Inc()
+	case "miss":
+		ew.cacheMiss.Inc()
+	}
+	ew.latency.Observe(elapsed.Microseconds())
+	if sloEndpoint(ep) {
+		t.availability.Observe(status >= 500)
+		t.latency.Observe(elapsed >= t.latencyBad)
+		t.degraded.Observe(degraded)
+	}
+}
+
+// durLabel renders a horizon span compactly: 5m, 1h, 10s.
+func durLabel(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	case d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+	return d.String()
+}
+
+// EndpointStatus is one endpoint's rolling-window view in the status
+// report. Field order is part of the wire contract: CI greps for
+// `"endpoint":"estimate","requests":N` adjacency.
+type EndpointStatus struct {
+	Endpoint         string  `json:"endpoint"`
+	Requests         int64   `json:"requests"`
+	RateRPS          float64 `json:"rate_rps"`
+	Errors           int64   `json:"errors"`
+	ErrorFraction    float64 `json:"error_fraction"`
+	DegradedFraction float64 `json:"degraded_fraction"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+	Inflight         int64   `json:"inflight"`
+	P50US            int64   `json:"p50_us"`
+	P95US            int64   `json:"p95_us"`
+	P99US            int64   `json:"p99_us"`
+	MaxUS            int64   `json:"max_us"`
+}
+
+// StatusResponse is the GET /v1/status body: the rolling-window
+// serving picture plus the SLO verdicts. Everything in it derives
+// from the injectable clock and the request history, so under a fake
+// clock the body is byte-deterministic (struct fields marshal in
+// declaration order; there are no maps).
+type StatusResponse struct {
+	Window     string           `json:"window"`
+	NowNS      int64            `json:"now_ns"`
+	SLO        string           `json:"slo"`
+	Objectives []slo.Verdict    `json:"objectives"`
+	Endpoints  []EndpointStatus `json:"endpoints"`
+}
+
+// statusSnapshot assembles the status report from the rolling
+// windows. With telemetry disabled it reports zeros and an ok SLO.
+func (s *Server) statusSnapshot() StatusResponse {
+	st := StatusResponse{
+		Window:     durLabel(s.cfg.ShortWindow),
+		NowNS:      s.clock(),
+		SLO:        slo.OK.String(),
+		Objectives: []slo.Verdict{},
+		Endpoints:  []EndpointStatus{},
+	}
+	t := s.tel
+	if t != nil {
+		st.Objectives = []slo.Verdict{
+			t.availability.Evaluate(),
+			t.latency.Evaluate(),
+			t.degraded.Evaluate(),
+		}
+	}
+	worst := "ok"
+	for _, v := range st.Objectives {
+		switch {
+		case v.State == "breach":
+			worst = "breach"
+		case v.State == "warn" && worst == "ok":
+			worst = "warn"
+		}
+	}
+	st.SLO = worst
+	for _, ep := range endpoints {
+		es := s.stats[ep]
+		e := EndpointStatus{Endpoint: ep, Inflight: es.n.Load()}
+		if t != nil {
+			w := t.eps[ep]
+			e.Requests = w.requests.Total()
+			e.RateRPS = w.requests.Rate()
+			e.Errors = w.errors.Total()
+			snap := w.latency.Snapshot()
+			e.P50US, e.P95US, e.P99US, e.MaxUS = snap.P50, snap.P95, snap.P99, snap.Max
+			if e.Requests > 0 {
+				e.ErrorFraction = float64(e.Errors) / float64(e.Requests)
+				e.DegradedFraction = float64(w.degraded.Total()) / float64(e.Requests)
+			}
+			if lookups := w.cacheHits.Total() + w.cacheMiss.Total(); lookups > 0 {
+				e.CacheHitRatio = float64(w.cacheHits.Total()) / float64(lookups)
+			}
+		}
+		st.Endpoints = append(st.Endpoints, e)
+	}
+	return st
+}
+
+// handleStatus serves GET /v1/status: the JSON status report, or with
+// ?format=prom just the windowed/SLO series in Prometheus text form
+// (the same rows /metrics?format=prom appends after the registry).
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.statusSnapshot()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeStatusProm(w, st)
+		return
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// statusPromHeader writes the HELP/TYPE pair for one windowed status
+// family, sourcing help text from the obsv metric catalog so the
+// catalog stays the single source of truth.
+func statusPromHeader(w io.Writer, family, rawName string) {
+	if mi, ok := obsv.LookupMetricInfo(rawName); ok {
+		fmt.Fprintf(w, "# HELP %s %s\n", family, mi.Help)
+	}
+	fmt.Fprintf(w, "# TYPE %s gauge\n", family)
+}
+
+// writeStatusProm renders a status snapshot as Prometheus gauges with
+// endpoint / objective / horizon / quantile labels. All windowed
+// series are gauges: they describe the window, not a monotone total.
+func writeStatusProm(w io.Writer, st StatusResponse) {
+	statusPromHeader(w, "server_window_requests", "server.window.requests")
+	for _, e := range st.Endpoints {
+		fmt.Fprintf(w, "server_window_requests{endpoint=%q} %d\n", e.Endpoint, e.Requests)
+	}
+	statusPromHeader(w, "server_window_request_rate", "server.window.request_rate")
+	for _, e := range st.Endpoints {
+		fmt.Fprintf(w, "server_window_request_rate{endpoint=%q} %g\n", e.Endpoint, e.RateRPS)
+	}
+	statusPromHeader(w, "server_window_errors", "server.window.errors")
+	for _, e := range st.Endpoints {
+		fmt.Fprintf(w, "server_window_errors{endpoint=%q} %d\n", e.Endpoint, e.Errors)
+	}
+	statusPromHeader(w, "server_window_latency_us", "server.window.latency_us")
+	for _, e := range st.Endpoints {
+		fmt.Fprintf(w, "server_window_latency_us{endpoint=%q,quantile=\"0.5\"} %d\n", e.Endpoint, e.P50US)
+		fmt.Fprintf(w, "server_window_latency_us{endpoint=%q,quantile=\"0.95\"} %d\n", e.Endpoint, e.P95US)
+		fmt.Fprintf(w, "server_window_latency_us{endpoint=%q,quantile=\"0.99\"} %d\n", e.Endpoint, e.P99US)
+	}
+	statusPromHeader(w, "server_window_degraded_fraction", "server.window.degraded_fraction")
+	for _, e := range st.Endpoints {
+		fmt.Fprintf(w, "server_window_degraded_fraction{endpoint=%q} %g\n", e.Endpoint, e.DegradedFraction)
+	}
+	statusPromHeader(w, "server_window_cache_hit_ratio", "server.window.cache_hit_ratio")
+	for _, e := range st.Endpoints {
+		fmt.Fprintf(w, "server_window_cache_hit_ratio{endpoint=%q} %g\n", e.Endpoint, e.CacheHitRatio)
+	}
+	statusPromHeader(w, "server_slo_burn", "server.slo.burn")
+	for _, v := range st.Objectives {
+		for _, bp := range v.Burn {
+			fmt.Fprintf(w, "server_slo_burn{objective=%q,horizon=%q} %g\n", v.Objective, bp.Horizon, bp.Burn)
+		}
+	}
+	statusPromHeader(w, "server_slo_state", "server.slo.state")
+	for _, v := range st.Objectives {
+		fmt.Fprintf(w, "server_slo_state{objective=%q} %d\n", v.Objective, stateValue(v.State))
+	}
+}
+
+func stateValue(state string) int {
+	switch state {
+	case "warn":
+		return 1
+	case "breach":
+		return 2
+	}
+	return 0
+}
