@@ -1,5 +1,5 @@
 // Package repro's root benchmark harness: one testing.B benchmark per
-// experiment table (E1..E16 — the reproduction's "tables and figures"),
+// experiment table (E1..E17 — the reproduction's "tables and figures"),
 // plus micro-benchmarks for the hot substrates (BDD construction,
 // event-driven simulation, espresso minimization, technology mapping).
 //
@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/circuits"
+	"repro/internal/core"
 	"repro/internal/encode"
 	"repro/internal/experiments"
 	"repro/internal/gating"
@@ -143,6 +145,19 @@ func BenchmarkE15Behavioral(b *testing.B) {
 func BenchmarkE16Software(b *testing.B) {
 	benchExperiment(b, experiments.E16Software, "binary_vs_linear_pct",
 		func(t *experiments.Table) float64 { return cell(t, 4, 4) })
+}
+
+func BenchmarkE17Incremental(b *testing.B) {
+	benchExperiment(b, experiments.E17Incremental, "best_reuse_pct",
+		func(t *experiments.Table) float64 {
+			best := 0.0
+			for i := range t.Rows {
+				if v := cell(t, i, 4); v > best {
+					best = v
+				}
+			}
+			return best
+		})
 }
 
 func BenchmarkProbabilityAblation(b *testing.B) {
@@ -494,6 +509,118 @@ func BenchmarkSimPackedVsScalar(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := ps.Run(vecs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchRewritePass builds an ExtraPasses entry that applies one
+// function-preserving double-negation rewrite (And/Or gate g becomes
+// Not(Nand/Nor over g's fanins)) to the deepest remaining And/Or gate —
+// the last one in topological order. A rewritten gate stops being a
+// candidate, so consecutive passes walk deterministically backwards from
+// the outputs: the canonical local-rewrite workload incremental
+// re-estimation is built for.
+func benchRewritePass(name string) core.Pass {
+	return core.Pass{
+		Name: name, Level: "logic",
+		Description: "function-preserving double-negation rewrite (bench)",
+		Run: func(nw *logic.Network, ctx *core.Context) error {
+			order, err := nw.TopoOrder()
+			if err != nil {
+				return err
+			}
+			target := logic.InvalidNode
+			for _, id := range order {
+				n := nw.Node(id)
+				if (n.Type == logic.And || n.Type == logic.Or) && len(n.Fanin) >= 2 {
+					target = id
+				}
+			}
+			if target == logic.InvalidNode {
+				return nil
+			}
+			n := nw.Node(target)
+			inv := logic.Nand
+			if n.Type == logic.Or {
+				inv = logic.Nor
+			}
+			g, err := nw.AddGate(name+"_inv", inv, n.Fanin...)
+			if err != nil {
+				return err
+			}
+			nn, err := nw.AddGate(name+"_not", logic.Not, g)
+			if err != nil {
+				return err
+			}
+			return nw.ReplaceNode(target, nn)
+		},
+	}
+}
+
+// BenchmarkFlowIncrementalVsFull times a 12-pass local-rewrite flow on
+// the 1064-gate array multiplier at 16384 simulation vectors, measured
+// with the incremental estimation engines. Sub-benchmark "incremental"
+// splices each pass's dirty cone into the carried baseline; "full" sets
+// Context.FullRecompute, discarding the baseline before every
+// measurement — the identical-engines from-scratch reference. The two
+// rendered trajectories are asserted byte-identical before any timing;
+// the target is a >=5x wall-clock win for the incremental path (compare
+// the sub-benchmarks' ns/op).
+func BenchmarkFlowIncrementalVsFull(b *testing.B) {
+	base, err := circuits.ArrayMultiplier(14) // 1064 gates
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	vecs := sim.RandomVectors(r, 16384, len(base.PIs()), 0.5)
+
+	const passes = 12
+	run := func(full bool) (string, error) {
+		nw := base.Clone()
+		fctx := core.NewContext(nw, 1)
+		fctx.Vectors = vecs
+		fctx.Incremental = true
+		fctx.FullRecompute = full
+		fctx.ExtraPasses = map[string]core.Pass{}
+		flow := core.Flow{Name: "rewrite"}
+		for i := 0; i < passes; i++ {
+			name := fmt.Sprintf("rw%d", i)
+			fctx.ExtraPasses[name] = benchRewritePass(name)
+			flow.Passes = append(flow.Passes, name)
+		}
+		rep, err := core.RunFlow(nw, flow, fctx)
+		if err != nil {
+			return "", err
+		}
+		return rep.String(), nil
+	}
+
+	// Correctness gate: both modes must render byte-identical
+	// trajectories before either is worth timing.
+	incr, err := run(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := run(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if incr != full {
+		b.Fatalf("incremental trajectory diverged from full recompute:\n%s\nvs\n%s", incr, full)
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := run(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := run(true); err != nil {
 				b.Fatal(err)
 			}
 		}

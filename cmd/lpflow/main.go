@@ -54,6 +54,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the flow; on expiry the partial trajectory is printed and lpflow exits non-zero (0 = no limit)")
 	bddBudget := flag.Int("bdd-budget", 0, "max BDD nodes per exact power measurement; over budget the measurement degrades to Monte Carlo, marked (MC) (0 = unlimited)")
+	incremental := flag.Bool("incremental", false, "measure with the fast incremental engines (propagated probabilities + packed zero-delay MC), re-deriving only each pass's dirty cone; combinational circuits only (sequential fall back to classic measurement)")
+	fullReestimate := flag.Bool("full-reestimate", false, "with -incremental: discard the baseline before every measurement (full-recompute escape hatch; trajectories are bit-identical either way)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -111,6 +113,8 @@ func main() {
 	}
 	ctx := core.NewContext(nw, *seed)
 	ctx.ExactBudget = bdd.Budget{MaxNodes: *bddBudget}
+	ctx.Incremental = *incremental
+	ctx.FullRecompute = *fullReestimate
 	rep, err := core.RunFlowCtx(runCtx, nw, flow, ctx)
 	if err != nil {
 		// On cancellation the flow hands back the trajectory it finished;

@@ -110,8 +110,10 @@ func workload(n int) []genReq {
 		case 6:
 			body = map[string]any{"circuit": c, "estimator": "packed", "vectors": 256, "seed": 3}
 		case 7:
+			// Incremental measurement: the dirty-cone fast path, so the
+			// serving numbers cover both flow measurement modes.
 			class, path = "flow", "/v1/flow"
-			body = map[string]any{"circuit": c, "flow": "area"}
+			body = map[string]any{"circuit": c, "flow": "area", "incremental": true}
 		}
 		reqs = append(reqs, genReq{class: class, path: path, body: mustJSON(body)})
 	}

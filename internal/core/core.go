@@ -42,6 +42,36 @@ type Context struct {
 	// (Snapshot.Degraded) instead of failing the flow. The zero value
 	// means unlimited.
 	ExactBudget bdd.Budget
+	// Incremental switches combinational flow measurement to the fast
+	// estimation engines with dirty-cone reuse between passes
+	// (power.IncrementalEstimator): Snapshot.ExactP becomes the
+	// propagated-probability total, SimP the packed zero-delay Monte
+	// Carlo total, and Spurious 0 (zero delay sees no glitches).
+	// Sequential networks fall back to the classic measurement. The
+	// incremental trajectory is bit-identical to running the same fast
+	// engines from scratch at every step — FullRecompute demonstrates
+	// exactly that.
+	Incremental bool
+	// FullRecompute keeps the incremental measurement engines but
+	// discards the baseline before every measurement — the escape hatch
+	// when a rewrite is suspected of bypassing dirty tracking, and the
+	// honest baseline incremental runs are benchmarked against. Only
+	// meaningful with Incremental set.
+	FullRecompute bool
+	// IncrMaxConeFrac forwards power.IncrementalEstimator.MaxConeFrac:
+	// dirty cones covering more than this fraction of the live
+	// combinational nodes take the full-recompute path instead (0 = no
+	// bound).
+	IncrMaxConeFrac float64
+	// DirtyAudit re-fingerprints the network around every pass and fails
+	// the flow if a pass changed nodes it did not record in the dirty set
+	// (logic.DirtyAudit) — the debug check that catches mutation-API
+	// bypasses before they can poison incremental re-estimation.
+	DirtyAudit bool
+	// ExtraPasses supplements Registry() for flows run under this
+	// context; a name collision resolves to the extra pass. Benchmarks
+	// and tests use this to inject custom rewrites into a flow.
+	ExtraPasses map[string]Pass
 }
 
 // NewContext builds a default context for a network: 1995 parameters,
@@ -90,6 +120,12 @@ func Measure(nw *logic.Network, fctx *Context, label string) (Snapshot, error) {
 // the budget trips; cancellation of ctx aborts the measurement with the
 // context's error.
 func MeasureCtx(ctx context.Context, nw *logic.Network, fctx *Context, label string) (Snapshot, error) {
+	if fctx.Incremental && len(nw.FFs()) == 0 {
+		// Standalone incremental-mode measurement: a one-shot estimator
+		// (no baseline to reuse, but the same engines and therefore the
+		// same snapshot semantics as flow-internal measurements).
+		return measureIncremental(ctx, nw, fctx, label, newFlowEstimator(nw, fctx))
+	}
 	ctx, sp := trace.Start(ctx, "core.measure")
 	if sp != nil {
 		sp.SetAttr("label", label)
@@ -118,6 +154,42 @@ func MeasureCtx(ctx context.Context, nw *logic.Network, fctx *Context, label str
 	}
 	snap.SimP = rep.Total()
 	snap.Spurious = tot.SpuriousFraction()
+	return snap, nil
+}
+
+// newFlowEstimator builds the incremental estimator for a combinational
+// network under a context's evaluation environment.
+func newFlowEstimator(nw *logic.Network, fctx *Context) *power.IncrementalEstimator {
+	est := power.NewIncrementalEstimator(nw, fctx.Params, fctx.CapModel, fctx.InputProb, fctx.Vectors)
+	est.MaxConeFrac = fctx.IncrMaxConeFrac
+	return est
+}
+
+// measureIncremental produces a Snapshot from the incremental engines:
+// ExactP is the propagated-probability total, SimP the packed zero-delay
+// total, Spurious 0. FullRecompute invalidates the baseline first, so the
+// same call sites serve both the incremental path and its from-scratch
+// reference.
+func measureIncremental(ctx context.Context, nw *logic.Network, fctx *Context, label string, est *power.IncrementalEstimator) (Snapshot, error) {
+	_, sp := trace.Start(ctx, "core.measure.incr")
+	if sp != nil {
+		sp.SetAttr("label", label)
+		defer sp.End()
+	}
+	st := nw.Stats()
+	snap := Snapshot{Label: label, Gates: st.Gates, Depth: st.Levels, FlipFlops: st.FFs}
+	if err := ctx.Err(); err != nil {
+		return snap, err
+	}
+	if fctx.FullRecompute {
+		est.Invalidate()
+	}
+	res, err := est.Measure()
+	if err != nil {
+		return snap, err
+	}
+	snap.ExactP = res.Propagated.Total()
+	snap.SimP = res.Packed.Total()
 	return snap, nil
 }
 
@@ -280,8 +352,31 @@ func RunFlow(nw *logic.Network, flow Flow, fctx *Context) (*FlowReport, error) {
 // All other errors return a nil report, as before.
 func RunFlowCtx(ctx context.Context, nw *logic.Network, flow Flow, fctx *Context) (*FlowReport, error) {
 	reg := Registry()
+	for name, p := range fctx.ExtraPasses {
+		reg[name] = p
+	}
+	// One estimator serves every measurement of the flow: the initial
+	// call takes the full baseline, and each pass's measurement then
+	// re-derives only the dirty cone the pass touched.
+	var est *power.IncrementalEstimator
+	if fctx.Incremental && len(nw.FFs()) == 0 {
+		est = newFlowEstimator(nw, fctx)
+	}
+	measure := func(label string) (Snapshot, error) {
+		if est != nil {
+			return measureIncremental(ctx, nw, fctx, label, est)
+		}
+		return MeasureCtx(ctx, nw, fctx, label)
+	}
+	if fctx.DirtyAudit && est == nil {
+		// Without an estimator nothing consumes the dirty set, so the
+		// audit owns the per-pass window: drop construction-time dirt now
+		// and after each verified pass, or a bypassed write to an
+		// already-dirty node would slip through.
+		nw.ClearDirty()
+	}
 	rep := &FlowReport{Flow: flow.Name}
-	snap, err := MeasureCtx(ctx, nw, fctx, "initial")
+	snap, err := measure("initial")
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +397,10 @@ func RunFlowCtx(ctx context.Context, nw *logic.Network, flow Flow, fctx *Context
 			return nil, fmt.Errorf("core: unknown pass %q in flow %q", name, flow.Name)
 		}
 		span := PassSpan{Name: name, Level: p.Level, StartNs: time.Since(flowStart).Nanoseconds()}
+		var audit *logic.DirtyAudit
+		if fctx.DirtyAudit {
+			audit = logic.NewDirtyAudit(nw)
+		}
 		stop := obs.Timer("lpflow.pass." + name + ".ns").Start()
 		_, tsp := trace.Start(ctx, "pass."+name)
 		tsp.SetAttr("level", p.Level)
@@ -316,6 +415,16 @@ func RunFlowCtx(ctx context.Context, nw *logic.Network, flow Flow, fctx *Context
 		if err := nw.Check(); err != nil {
 			return nil, fmt.Errorf("core: pass %q corrupted network: %w", name, err)
 		}
+		if audit != nil {
+			// Dirty() (not TakeDirty) keeps the set intact for the
+			// measurement below to consume.
+			if err := audit.Verify(nw, nw.Dirty()); err != nil {
+				return nil, fmt.Errorf("core: pass %q: %w", name, err)
+			}
+			if est == nil {
+				nw.ClearDirty()
+			}
+		}
 		if verify {
 			eq, err := logic.Equivalent(golden, nw)
 			if err != nil {
@@ -326,7 +435,7 @@ func RunFlowCtx(ctx context.Context, nw *logic.Network, flow Flow, fctx *Context
 			}
 		}
 		prev := rep.Steps[len(rep.Steps)-1]
-		snap, err := MeasureCtx(ctx, nw, fctx, name)
+		snap, err := measure(name)
 		if err != nil {
 			if ctx.Err() != nil {
 				return rep, fmt.Errorf("core: flow %q stopped measuring after pass %q: %w", flow.Name, name, err)

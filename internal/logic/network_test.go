@@ -313,3 +313,30 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestReplaceFaninDuplicatePins: rewiring a consumer that uses the same
+// driver on several pins must keep the one-fanout-entry-per-pin invariant
+// (topoOrder's indegree accounting depends on it; regression for a
+// phantom combinational-cycle report).
+func TestReplaceFaninDuplicatePins(t *testing.T) {
+	nw := New("dup")
+	a := nw.MustInput("a")
+	b := nw.MustGate("b", Not, a)
+	g := nw.MustGate("g", And, b, b)
+	if err := nw.MarkOutput(g); err != nil {
+		t.Fatal(err)
+	}
+	c := nw.MustGate("c", Buf, a)
+	if err := nw.ReplaceFanin(g, b, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Node(c).Fanout(); len(got) != 2 || got[0] != g || got[1] != g {
+		t.Fatalf("fanout of new driver = %v, want one entry per pin [g g]", got)
+	}
+	if got := nw.Node(b).Fanout(); len(got) != 0 {
+		t.Fatalf("old driver still has fanout %v", got)
+	}
+	if _, err := nw.TopoOrder(); err != nil {
+		t.Fatalf("phantom cycle after duplicate-pin rewire: %v", err)
+	}
+}

@@ -42,6 +42,12 @@ var catalog = map[string]MetricInfo{
 	"power.prop.nodes":     {Type: "counter", Help: "Nodes propagated by the independence-assumption estimator."},
 	"power.density.diffs":  {Type: "counter", Help: "Boolean differences computed by the density estimator."},
 
+	"flow.incr.measures":        {Type: "counter", Help: "Measurements taken by incremental flow estimators (cone splices and full recomputes)."},
+	"flow.incr.full_recomputes": {Type: "counter", Help: "Incremental measurements that fell back to a from-scratch recompute."},
+	"flow.incr.cone_nodes":      {Type: "counter", Help: "Dirty-cone nodes re-derived by incremental measurements."},
+	"flow.incr.clean_nodes":     {Type: "counter", Help: "Live combinational nodes reused from the carried baseline."},
+	"flow.incr.reuse_frac":      {Type: "gauge", Help: "Reused fraction of the last incremental measurement: clean / (cone + clean)."},
+
 	"lpflow.pass.*.ns":     {Type: "timer", Help: "Wall time of one optimization flow pass."},
 	"lpflow.pass.*.dpower": {Type: "gauge", Help: "Simulated-power delta of the pass (negative = saved)."},
 	"lpflow.pass.*.dgates": {Type: "gauge", Help: "Gate-count delta of the pass."},

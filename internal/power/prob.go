@@ -50,28 +50,45 @@ func PropagatedProbabilities(nw *logic.Network, inputProb Probabilities) (Probab
 		return nil, err
 	}
 	propagated := 0
+	var buf []float64
 	for _, id := range order {
 		n := nw.Node(id)
-		switch n.Type {
-		case logic.Const0:
-			out[id] = 0
-		case logic.Const1:
-			out[id] = 1
-		default:
-			ps := make([]float64, len(n.Fanin))
-			for i, f := range n.Fanin {
-				ps[i] = out[f]
-			}
-			p, err := gateProb(n.Type, ps)
-			if err != nil {
-				return nil, err
-			}
-			out[id] = p
+		p, counted, err := propagateNode(n, out, &buf)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = p
+		if counted {
 			propagated++
 		}
 	}
 	obsv.Default().Counter("power.prop.nodes").Add(int64(propagated))
 	return out, nil
+}
+
+// propagateNode computes one node's propagated probability from the
+// already-filled table of its fanins. It is the single propagation kernel
+// shared by the full forward pass and incremental cone re-propagation
+// (IncrementalEstimator), so the two paths are bit-identical by
+// construction — same fanin read order, same float operations. The
+// second result reports whether the node went through a gate rule (what
+// the power.prop.nodes counter counts); buf is scratch reused across
+// calls.
+func propagateNode(n *logic.Node, table Probabilities, buf *[]float64) (float64, bool, error) {
+	switch n.Type {
+	case logic.Const0:
+		return 0, false, nil
+	case logic.Const1:
+		return 1, false, nil
+	default:
+		ps := (*buf)[:0]
+		for _, f := range n.Fanin {
+			ps = append(ps, table[f])
+		}
+		*buf = ps
+		p, err := gateProb(n.Type, ps)
+		return p, true, err
+	}
 }
 
 func gateProb(t logic.GateType, ps []float64) (float64, error) {

@@ -662,6 +662,14 @@ type FlowRequest struct {
 	BDDMaxNodes int   `json:"bdd_max_nodes,omitempty"`
 	BDDMaxSteps int64 `json:"bdd_max_steps,omitempty"`
 	TimeoutMS   int   `json:"timeout_ms,omitempty"`
+	// Incremental measures the trajectory with the fast incremental
+	// engines (propagated probabilities + packed zero-delay Monte Carlo,
+	// dirty-cone reuse between passes): exact_p/sim_p change meaning
+	// accordingly and spurious is 0, so the flag is part of the result
+	// cache key. The trajectory is deterministic and bit-identical to a
+	// from-scratch recomputation at every step; sequential circuits fall
+	// back to the classic measurement.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // SnapshotJSON is one core.Snapshot row. PassSpan timings are
@@ -735,8 +743,8 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	key := fmt.Sprintf("flow|%s|flow=%s;seed=%d;verify=%t;bn=%d;bs=%d",
-		ent.hash, flow.Name, req.Seed, verify, budget.MaxNodes, budget.MaxSteps)
+	key := fmt.Sprintf("flow|%s|flow=%s;seed=%d;verify=%t;bn=%d;bs=%d;incr=%t",
+		ent.hash, flow.Name, req.Seed, verify, budget.MaxNodes, budget.MaxSteps, req.Incremental)
 	if res, ok := s.results.Get(key); ok {
 		writeCached(w, res.(cachedResult), true)
 		return
@@ -748,6 +756,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	fctx := core.NewContext(nw, req.Seed)
 	fctx.Verify = verify
 	fctx.ExactBudget = budget
+	fctx.Incremental = req.Incremental
 	cctx, csp := trace.Start(ctx, "compute.flow")
 	if csp != nil {
 		csp.SetAttr("flow", flow.Name)

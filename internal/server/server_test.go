@@ -429,3 +429,55 @@ func TestSelfCheckSmall(t *testing.T) {
 		t.Errorf("selfcheck log missing PASS line: %v", lines)
 	}
 }
+
+// TestFlowIncremental: the incremental flag takes the fast measurement
+// path, is part of the result-cache key, and its responses are
+// byte-deterministic across servers (the serving cache contract).
+func TestFlowIncremental(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := FlowRequest{circuitRef: circuitRef{Circuit: "mult4"}, Flow: "lowpower", Incremental: true}
+	status, body, cache := post(t, ts, "/v1/flow", req)
+	if status != http.StatusOK {
+		t.Fatalf("incremental flow: status %d body %s", status, body)
+	}
+	if cache != "miss" {
+		t.Fatalf("first incremental flow was cache-%s", cache)
+	}
+	var resp FlowResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range resp.Steps {
+		if st.Spurious != 0 {
+			t.Errorf("incremental step %q reports spurious %v; zero-delay engines see no glitches", st.Label, st.Spurious)
+		}
+	}
+
+	// Identical repeat: result-cache hit, byte-identical body.
+	_, body2, cache2 := post(t, ts, "/v1/flow", req)
+	if cache2 != "hit" {
+		t.Errorf("repeat incremental flow was cache-%s, want hit", cache2)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached incremental flow body differs")
+	}
+
+	// Same request without the flag must not collide in the cache (the
+	// snapshots mean different things).
+	classic := req
+	classic.Incremental = false
+	_, body3, cache3 := post(t, ts, "/v1/flow", classic)
+	if cache3 != "miss" {
+		t.Errorf("classic flow after incremental was cache-%s, want miss", cache3)
+	}
+	if bytes.Equal(body, body3) {
+		t.Error("incremental and classic flow bodies are identical; expected different measurement semantics")
+	}
+
+	// Cross-server determinism: a fresh server must produce the same bytes.
+	fresh := newTestServer(t, Config{})
+	_, body4, _ := post(t, fresh, "/v1/flow", req)
+	if !bytes.Equal(body, body4) {
+		t.Errorf("incremental flow is not byte-deterministic across servers:\n%s\nvs\n%s", body, body4)
+	}
+}

@@ -84,7 +84,15 @@ func NewPacked(nw *logic.Network) (*PackedSimulator, error) {
 	return ps, nil
 }
 
-// Reset zeroes all activity counters and restores the reset baseline.
+// Reset zeroes the per-node transition counters and the cycle count, and
+// re-bases the transition reference to the settled all-zero reset state.
+// After Reset the next Run is indistinguishable from the first Run on a
+// fresh simulator: the first vector of its stream is compared against the
+// reset baseline, so the initial transition away from reset is counted
+// (again). Without an intervening Reset, consecutive Run calls instead
+// treat their vector streams as one continuous stream — the final lane of
+// the previous call, not the reset state, is the comparison reference for
+// the first lane of the next (see Run).
 func (ps *PackedSimulator) Reset() {
 	for i := range ps.nodeTransitions {
 		ps.nodeTransitions[i] = 0
@@ -100,9 +108,50 @@ func (ps *PackedSimulator) Reset() {
 }
 
 // Run simulates the vector stream in blocks of 64 lanes and returns the
-// aggregate zero-delay totals (Spurious is 0 and MaxSettle is meaningless
-// under zero delay). Counts accumulate across calls until Reset.
+// aggregate zero-delay totals for this call (Spurious is 0 and MaxSettle
+// is meaningless under zero delay).
+//
+// Accumulation semantics: per-node counters accumulate across calls until
+// Reset, and the call boundary is seamless — the last vector of one Run
+// and the first vector of the next are treated as adjacent cycles of a
+// single stream (the carried final lane, not the reset baseline, is the
+// first comparison reference). Splitting a stream across Run calls
+// therefore yields exactly the counts of one concatenated Run; use Reset
+// to start an independent stream instead.
 func (ps *PackedSimulator) Run(vectors [][]bool) (Totals, error) {
+	return ps.run(vectors, nil)
+}
+
+// RunCapture resets the simulator, runs the full vector stream, and
+// records the complete packed lane state into st: every node's value
+// words for every 64-lane block, the reset baseline, and the per-node
+// transition counts. The recording shares Run's code path, so the
+// captured counts are bit-identical to what Run would report on a fresh
+// simulator. The resulting PackedState is the baseline for incremental
+// cone re-evaluation (PackedState.UpdateCone); any previously accumulated
+// counts are discarded by the initial Reset so that the state is
+// self-consistent: its counters describe exactly the captured stream.
+func (ps *PackedSimulator) RunCapture(vectors [][]bool, st *PackedState) (Totals, error) {
+	ps.Reset()
+	st.Blocks = st.Blocks[:0]
+	st.Lanes = st.Lanes[:0]
+	tot, err := ps.run(vectors, st)
+	if err != nil {
+		return tot, err
+	}
+	st.Reset = append(st.Reset[:0], ps.reset...)
+	st.Trans = append(st.Trans[:0], ps.nodeTransitions...)
+	st.Gate = st.Gate[:0]
+	for i := 0; i < ps.nw.NumNodes(); i++ {
+		n := ps.nw.Node(logic.NodeID(i))
+		st.Gate = append(st.Gate, n != nil && n.Type.IsGate())
+	}
+	st.Cycles = ps.cycles
+	st.GateTransitions = tot.Transitions
+	return tot, nil
+}
+
+func (ps *PackedSimulator) run(vectors [][]bool, st *PackedState) (Totals, error) {
 	var tot Totals
 	width := len(ps.pis)
 	for base := 0; base < len(vectors); base += 64 {
@@ -126,52 +175,9 @@ func (ps *PackedSimulator) Run(vectors [][]bool) (Totals, error) {
 		}
 		// One word-level settle pass evaluates all 64 lanes of every gate.
 		for _, n := range ps.order {
-			f := n.Fanin
-			var w uint64
-			switch n.Type {
-			case logic.Const0:
-				w = 0
-			case logic.Const1:
-				w = ^uint64(0)
-			case logic.Buf:
-				w = ps.val[f[0]]
-			case logic.Not:
-				w = ^ps.val[f[0]]
-			case logic.And:
-				w = ps.val[f[0]]
-				for _, x := range f[1:] {
-					w &= ps.val[x]
-				}
-			case logic.Nand:
-				w = ps.val[f[0]]
-				for _, x := range f[1:] {
-					w &= ps.val[x]
-				}
-				w = ^w
-			case logic.Or:
-				w = ps.val[f[0]]
-				for _, x := range f[1:] {
-					w |= ps.val[x]
-				}
-			case logic.Nor:
-				w = ps.val[f[0]]
-				for _, x := range f[1:] {
-					w |= ps.val[x]
-				}
-				w = ^w
-			case logic.Xor:
-				w = ps.val[f[0]]
-				for _, x := range f[1:] {
-					w ^= ps.val[x]
-				}
-			case logic.Xnor:
-				w = ps.val[f[0]]
-				for _, x := range f[1:] {
-					w ^= ps.val[x]
-				}
-				w = ^w
-			default:
-				return tot, fmt.Errorf("sim: packed simulator cannot evaluate node type %s", n.Type)
+			w, err := packedEval(n, ps.val)
+			if err != nil {
+				return tot, err
 			}
 			ps.val[n.ID] = w
 		}
@@ -194,11 +200,70 @@ func (ps *PackedSimulator) Run(vectors [][]bool) (Totals, error) {
 			}
 			ps.carry[n.ID] = w >> uint(k-1) & 1
 		}
+		if st != nil {
+			st.Blocks = append(st.Blocks, append([]uint64(nil), ps.val...))
+			st.Lanes = append(st.Lanes, k)
+		}
 		ps.cycles += k
 		tot.Cycles += k
 	}
 	tot.Useful = tot.Transitions
 	return tot, nil
+}
+
+// packedEval computes one 64-lane word for a combinational node from the
+// packed values of its fanins. It is the single evaluation kernel shared
+// by the full run and incremental cone re-evaluation, which is what makes
+// the incremental path bit-identical by construction.
+func packedEval(n *logic.Node, val []uint64) (uint64, error) {
+	f := n.Fanin
+	var w uint64
+	switch n.Type {
+	case logic.Const0:
+		w = 0
+	case logic.Const1:
+		w = ^uint64(0)
+	case logic.Buf:
+		w = val[f[0]]
+	case logic.Not:
+		w = ^val[f[0]]
+	case logic.And:
+		w = val[f[0]]
+		for _, x := range f[1:] {
+			w &= val[x]
+		}
+	case logic.Nand:
+		w = val[f[0]]
+		for _, x := range f[1:] {
+			w &= val[x]
+		}
+		w = ^w
+	case logic.Nor:
+		w = val[f[0]]
+		for _, x := range f[1:] {
+			w |= val[x]
+		}
+		w = ^w
+	case logic.Or:
+		w = val[f[0]]
+		for _, x := range f[1:] {
+			w |= val[x]
+		}
+	case logic.Xor:
+		w = val[f[0]]
+		for _, x := range f[1:] {
+			w ^= val[x]
+		}
+	case logic.Xnor:
+		w = val[f[0]]
+		for _, x := range f[1:] {
+			w ^= val[x]
+		}
+		w = ^w
+	default:
+		return 0, fmt.Errorf("sim: packed simulator cannot evaluate node type %s", n.Type)
+	}
+	return w, nil
 }
 
 // Cycles returns the number of cycles simulated since the last Reset.
