@@ -10,16 +10,28 @@
 //	lploadgen -addr http://127.0.0.1:8080 -n 200 -c 8 -o loadgen.json
 //	lploadgen -addr http://127.0.0.1:8080 -duration 30s -warmup 50
 //
-// The workload is an 8-slot rotation over the generator circuits (the
-// same shape as lpserverd -selfcheck) plus experiment-table fetches, so
-// runs with equal -n hit identical request sequences. With -duration
-// the workload cycles until the deadline instead of stopping at -n;
-// -warmup excludes the first K dispatched requests from the reported
-// percentiles (the split is recorded in the report as the
-// warmup_requests / measured_requests metrics, and the measured wall
-// clock starts when dispatch passes the warm-up boundary). Exit status
-// is nonzero if any request fails (transport error or non-2xx status):
-// "zero errors under load" is part of the serving contract.
+// The workload is a 12-slot rotation over the generator circuits (the
+// selfcheck 8-slot shape) plus experiment-table fetches,
+// batch envelopes (POST /v1/estimate:batch with an intra-batch
+// duplicate) and async flows (POST /v1/flow?async=1 submitted then
+// polled through GET /v1/jobs/{id} to done), so runs with equal -n hit
+// identical request sequences. With -duration the workload cycles until
+// the deadline instead of stopping at -n; -warmup excludes the first K
+// dispatched requests from the reported percentiles (the split is
+// recorded in the report as the warmup_requests / measured_requests
+// metrics, and the measured wall clock starts when dispatch passes the
+// warm-up boundary). Exit status is nonzero if any request fails
+// (transport error or non-2xx status): "zero errors under load" is part
+// of the serving contract.
+//
+// Herd mode (-herd N) follows the workload with N byte-identical
+// estimate requests fired concurrently — the thundering-herd shape
+// request coalescing exists for — and reports a ServerHerdCoalesced
+// benchmark whose computed_estimates metric is the delta of the
+// server's server.coalesce.leaders counter across the burst: the number
+// of requests that actually computed. The coalescing efficiency column
+// (herd size / computed) gates via -herd-min-eff, and every response
+// body must be byte-identical or the run fails.
 package main
 
 import (
@@ -67,8 +79,10 @@ var circuits = []string{"mult4", "cla8", "cmp8", "par16", "dec5", "radd8"}
 var experiments = []string{"E1", "E2"}
 
 // workload builds the deterministic n-request mix: the selfcheck 8-slot
-// estimator/flow rotation, with every 10th request swapped for an
-// experiment fetch so all three endpoint classes see load.
+// estimator/flow rotation, with every 12th window contributing an
+// experiment fetch, a batch envelope (with an intra-batch duplicate, so
+// server.batch.dedup moves on every cycle) and an async flow
+// (submit-then-poll) so all five endpoint classes see load.
 func workload(n int) []genReq {
 	reqs := make([]genReq, 0, n)
 	mustJSON := func(v any) []byte {
@@ -79,15 +93,34 @@ func workload(n int) []genReq {
 		return b
 	}
 	for i := 0; len(reqs) < n; i++ {
-		if i%10 == 9 {
+		c := circuits[i%len(circuits)]
+		switch i % 12 {
+		case 9:
 			reqs = append(reqs, genReq{
 				class:  "experiment",
 				method: http.MethodGet,
-				path:   "/v1/experiments/" + experiments[(i/10)%len(experiments)],
+				path:   "/v1/experiments/" + experiments[(i/12)%len(experiments)],
+			})
+			continue
+		case 10:
+			reqs = append(reqs, genReq{
+				class: "batch",
+				path:  "/v1/estimate:batch",
+				body: mustJSON(map[string]any{"items": []any{
+					map[string]any{"circuit": c, "estimator": "propagated"},
+					map[string]any{"circuit": c, "estimator": "propagated"}, // intra-batch duplicate
+					map[string]any{"circuit": c, "estimator": "packed", "vectors": 256, "seed": 3},
+				}}),
+			})
+			continue
+		case 11:
+			reqs = append(reqs, genReq{
+				class: "async",
+				path:  "/v1/flow?async=1",
+				body:  mustJSON(map[string]any{"circuit": c, "flow": "glitch"}),
 			})
 			continue
 		}
-		c := circuits[i%len(circuits)]
 		class, path := "estimate", "/v1/estimate"
 		var body any
 		switch i % 8 {
@@ -121,6 +154,9 @@ func workload(n int) []genReq {
 }
 
 func do(client *http.Client, base string, rq genReq) genResult {
+	if rq.class == "async" {
+		return doAsync(client, base, rq)
+	}
 	method := rq.method
 	if method == "" {
 		method = http.MethodPost
@@ -160,6 +196,58 @@ func do(client *http.Client, base string, rq genReq) genResult {
 		res.err = fmt.Errorf("%s %s: response lacks X-Trace-Id", method, rq.path)
 	}
 	return res
+}
+
+// doAsync submits an async flow (expects 202 + job_id) and polls
+// GET /v1/jobs/{id} until the job reaches done or error; the reported
+// latency is submit-to-done, the end-to-end shape an async client sees.
+func doAsync(client *http.Client, base string, rq genReq) genResult {
+	start := time.Now()
+	fail := func(err error) genResult {
+		return genResult{class: rq.class, latency: time.Since(start), err: err}
+	}
+	resp, err := client.Post(base+rq.path, "application/json", bytes.NewReader(rq.body))
+	if err != nil {
+		return fail(err)
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fail(fmt.Errorf("POST %s: status %d, want 202", rq.path, resp.StatusCode))
+	}
+	if err != nil || sub.JobID == "" {
+		return fail(fmt.Errorf("POST %s: bad 202 envelope (err %v, job_id %q)", rq.path, err, sub.JobID))
+	}
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			return fail(err)
+		}
+		var st struct {
+			State    string `json:"state"`
+			Degraded bool   `json:"degraded"`
+			Error    string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return fail(fmt.Errorf("GET /v1/jobs/%s: status %d err %v", sub.JobID, resp.StatusCode, err))
+		}
+		switch st.State {
+		case "done":
+			return genResult{class: rq.class, latency: time.Since(start), status: http.StatusOK, degraded: st.Degraded}
+		case "error":
+			return fail(fmt.Errorf("job %s failed: %s", sub.JobID, st.Error))
+		}
+		if client.Timeout > 0 && time.Since(start) > client.Timeout {
+			return fail(fmt.Errorf("job %s still %s after %v", sub.JobID, st.State, client.Timeout))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // percentile returns the q-quantile (0..1) of sorted latencies by
@@ -300,6 +388,129 @@ func run(client *http.Client, base string, reqs []genReq, workers, total int, du
 	return rr
 }
 
+// scrapeCounter reads one cumulative counter from the server's /metrics
+// JSON export. Missing names read as 0 (a counter that never
+// incremented is not exported).
+func scrapeCounter(client *http.Client, base, name string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, err
+	}
+	v, _ := m[name].(float64)
+	return v, nil
+}
+
+// herdResult is the outcome of one coalescing burst.
+type herdResult struct {
+	bench     benchfmt.Benchmark
+	computed  float64 // estimates actually computed (coalesce.leaders delta)
+	eff       float64 // herd size / computed
+	identical bool    // all response bodies byte-identical
+	failed    int     // requests that errored
+}
+
+// runHerd fires n byte-identical estimate requests concurrently — all
+// in flight at once, the thundering-herd shape — and measures how many
+// actually computed via the server.coalesce.leaders delta. A seed the
+// rotating workload never uses keeps the burst out of the warm cache,
+// so the first herd against a fresh server measures coalescing, not
+// result-cache replay (computed 0 means the key was already cached;
+// efficiency then reports the full herd size).
+func runHerd(client *http.Client, base string, n int) (herdResult, error) {
+	body, _ := json.Marshal(map[string]any{"circuit": "mult5", "estimator": "exact", "seed": 7})
+	leadBefore, err := scrapeCounter(client, base, "server.coalesce.leaders")
+	if err != nil {
+		return herdResult{}, fmt.Errorf("metrics scrape: %w", err)
+	}
+	hitsBefore, _ := scrapeCounter(client, base, "server.coalesce.hits")
+
+	type shot struct {
+		body    []byte
+		status  int
+		latency time.Duration
+		err     error
+	}
+	shots := make([]shot, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				shots[i] = shot{err: err, latency: time.Since(t0)}
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			shots[i] = shot{body: b, status: resp.StatusCode, latency: time.Since(t0), err: err}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	leadAfter, err := scrapeCounter(client, base, "server.coalesce.leaders")
+	if err != nil {
+		return herdResult{}, fmt.Errorf("metrics scrape: %w", err)
+	}
+	hitsAfter, _ := scrapeCounter(client, base, "server.coalesce.hits")
+
+	hr := herdResult{computed: leadAfter - leadBefore, identical: true}
+	var lat []time.Duration
+	var sum time.Duration
+	for _, s := range shots {
+		lat = append(lat, s.latency)
+		sum += s.latency
+		if s.err != nil || s.status != http.StatusOK {
+			hr.failed++
+			continue
+		}
+		if !bytes.Equal(s.body, shots[0].body) {
+			hr.identical = false
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	hr.eff = float64(n)
+	if hr.computed > 0 {
+		hr.eff = float64(n) / hr.computed
+	}
+	identical := 0.0
+	if hr.identical {
+		identical = 1
+	}
+	hr.bench = benchfmt.Benchmark{
+		Name:       "ServerHerdCoalesced",
+		FullName:   "ServerHerdCoalesced",
+		Iterations: int64(n),
+		NsPerOp:    float64(sum.Nanoseconds()) / float64(n),
+		Metrics: map[string]float64{
+			"herd_requests":      float64(n),
+			"computed_estimates": hr.computed,
+			"coalesce_hits":      hitsAfter - hitsBefore,
+			"efficiency":         hr.eff,
+			"byte_identical":     identical,
+			"error_rate":         float64(hr.failed) / float64(n),
+			"p50_ns":             float64(percentile(lat, 0.50).Nanoseconds()),
+			"p99_ns":             float64(percentile(lat, 0.99).Nanoseconds()),
+			"rps":                float64(n) / wall.Seconds(),
+		},
+	}
+	if hr.failed > 0 {
+		return hr, fmt.Errorf("herd: %d/%d requests failed", hr.failed, n)
+	}
+	if !hr.identical {
+		return hr, fmt.Errorf("herd: response bodies not byte-identical")
+	}
+	return hr, nil
+}
+
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the lpserverd to load")
 	n := flag.Int("n", 200, "total requests to send (count mode; also the cycle length with -duration)")
@@ -308,6 +519,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	duration := flag.Duration("duration", 0, "run for this long, cycling the workload, instead of stopping at -n")
 	warmup := flag.Int("warmup", 0, "exclude the first K dispatched requests from the reported percentiles")
+	herd := flag.Int("herd", 0, "after the workload, fire this many identical concurrent estimates and report coalescing efficiency")
+	herdMinEff := flag.Float64("herd-min-eff", 0, "fail unless herd efficiency (requests/computed) reaches this (0 = no gate)")
 	flag.Parse()
 	if *n <= 0 || *c <= 0 {
 		fmt.Fprintln(os.Stderr, "lploadgen: -n and -c must be positive")
@@ -353,7 +566,16 @@ func main() {
 			summarize("LoadgenEstimate", byClass["estimate"], wall),
 			summarize("LoadgenFlow", byClass["flow"], wall),
 			summarize("LoadgenExperiments", byClass["experiment"], wall),
+			summarize("LoadgenBatch", byClass["batch"], wall),
+			summarize("LoadgenAsync", byClass["async"], wall),
 		},
+	}
+
+	var hr herdResult
+	var herdErr error
+	if *herd > 0 {
+		hr, herdErr = runHerd(client, *addr, *herd)
+		rep.Benchmarks = append(rep.Benchmarks, hr.bench)
 	}
 
 	var w io.Writer = os.Stdout
@@ -390,6 +612,18 @@ func main() {
 		time.Duration(overall.Metrics["p99_ns"]).Round(time.Microsecond),
 		overall.Metrics["rps"], failed,
 		100*overall.Metrics["cache_hit_rate"], 100*overall.Metrics["degraded_rate"])
+	if *herd > 0 {
+		fmt.Fprintf(os.Stderr, "lploadgen: herd %d identical requests -> %.0f computed, %.1fx coalescing efficiency, byte-identical=%v\n",
+			*herd, hr.computed, hr.eff, hr.identical)
+		if herdErr != nil {
+			fmt.Fprintf(os.Stderr, "lploadgen: %v\n", herdErr)
+			os.Exit(1)
+		}
+		if *herdMinEff > 0 && hr.eff < *herdMinEff {
+			fmt.Fprintf(os.Stderr, "lploadgen: herd efficiency %.1fx below the -herd-min-eff gate %.1fx\n", hr.eff, *herdMinEff)
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -3,19 +3,32 @@ package main
 import (
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
 
 // stubServer answers every request instantly with the headers the
-// loadgen contract checks (X-Trace-Id present).
+// loadgen contract checks (X-Trace-Id present), including the async
+// submit/poll handshake and a flat /metrics export.
 func stubServer() *httptest.Server {
 	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Trace-Id", "t-1")
-		if r.URL.Path == "/v1/estimate" {
-			w.Header().Set("X-Cache", "hit")
-		}
 		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.URL.Path == "/v1/estimate":
+			w.Header().Set("X-Cache", "hit")
+		case r.URL.Path == "/v1/flow" && r.URL.Query().Get("async") == "1":
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"job_id":"j1","state":"queued"}` + "\n"))
+			return
+		case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+			w.Write([]byte(`{"job_id":"j1","state":"done","result":{}}` + "\n"))
+			return
+		case r.URL.Path == "/metrics":
+			w.Write([]byte(`{"server.coalesce.leaders":3,"server.coalesce.hits":5}` + "\n"))
+			return
+		}
 		w.Write([]byte("{}\n"))
 	}))
 }
@@ -32,10 +45,60 @@ func TestWorkloadDeterministicShape(t *testing.T) {
 		}
 		classes[a[i].class]++
 	}
-	for _, cl := range []string{"estimate", "flow", "experiment"} {
+	for _, cl := range []string{"estimate", "flow", "experiment", "batch", "async"} {
 		if classes[cl] == 0 {
 			t.Fatalf("workload has no %s requests: %v", cl, classes)
 		}
+	}
+}
+
+// TestDoAsyncSubmitAndPoll drives the async submit/poll handshake
+// against the stub: 202 + job_id, then polling to done.
+func TestDoAsyncSubmitAndPoll(t *testing.T) {
+	ts := stubServer()
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	r := do(client, ts.URL, genReq{class: "async", path: "/v1/flow?async=1", body: []byte(`{"circuit":"mult4","flow":"glitch"}`)})
+	if r.err != nil {
+		t.Fatalf("async request failed: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("async status = %d, want 200 once done", r.status)
+	}
+}
+
+// TestRunHerdAgainstStub pins the herd accounting: identical bodies,
+// computed from the leaders-counter delta (0 on the constant stub, so
+// efficiency reports the full herd size).
+func TestRunHerdAgainstStub(t *testing.T) {
+	ts := stubServer()
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	hr, err := runHerd(client, ts.URL, 8)
+	if err != nil {
+		t.Fatalf("runHerd: %v", err)
+	}
+	if !hr.identical || hr.failed != 0 {
+		t.Fatalf("herd: identical=%v failed=%d", hr.identical, hr.failed)
+	}
+	if hr.computed != 0 || hr.eff != 8 {
+		t.Fatalf("herd accounting: computed=%v eff=%v, want 0 and 8 on a constant counter", hr.computed, hr.eff)
+	}
+	if hr.bench.Name != "ServerHerdCoalesced" || hr.bench.Metrics["byte_identical"] != 1 {
+		t.Fatalf("herd bench entry wrong: %+v", hr.bench)
+	}
+}
+
+func TestScrapeCounter(t *testing.T) {
+	ts := stubServer()
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	v, err := scrapeCounter(client, ts.URL, "server.coalesce.hits")
+	if err != nil || v != 5 {
+		t.Fatalf("scrapeCounter = %v, %v; want 5", v, err)
+	}
+	if v, _ := scrapeCounter(client, ts.URL, "no.such.metric"); v != 0 {
+		t.Fatalf("missing metric = %v, want 0", v)
 	}
 }
 

@@ -8,6 +8,9 @@
 //	lpserverd -addr :8080
 //	curl -s localhost:8080/v1/estimate -d '{"circuit":"mult4"}'
 //	curl -s localhost:8080/v1/flow -d '{"circuit":"radd8","flow":"glitch"}'
+//	curl -s localhost:8080/v1/estimate:batch -d '{"items":[{"circuit":"mult4"},{"circuit":"cla8"}]}'
+//	curl -s 'localhost:8080/v1/flow?async=1' -d '{"circuit":"mult6","flow":"lowpower"}'
+//	curl -s localhost:8080/v1/jobs/<job_id>   # queued | running | done | error
 //
 // lpserverd -selfcheck N runs the built-in load generator instead of
 // serving: N mixed requests replayed sequentially and concurrently
@@ -44,6 +47,9 @@ func main() {
 	bddSteps := flag.Int64("bdd-steps", 0, "default max BDD ITE steps per exact estimate (0 = unlimited)")
 	netCache := flag.Int("cache-networks", 64, "parsed-network LRU entries")
 	resCache := flag.Int("cache-results", 512, "response-body LRU entries")
+	maxBatch := flag.Int("max-batch", 32, "max items per POST /v1/estimate:batch envelope")
+	maxJobs := flag.Int("max-jobs", 256, "async job store capacity; full-of-running rejects with 503")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay pollable")
 	selfcheck := flag.Int("selfcheck", 0, "run the N-request determinism load test instead of serving")
 	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request to stderr")
 	traceReqs := flag.Bool("trace", false, "build a span tree per request (queue, cache, engine spans)")
@@ -57,6 +63,9 @@ func main() {
 		ResultCacheSize:    *resCache,
 		DefaultTimeout:     *timeout,
 		MaxTimeout:         *maxTimeout,
+		MaxBatchItems:      *maxBatch,
+		MaxJobs:            *maxJobs,
+		JobTTL:             *jobTTL,
 		DefaultBudget:      bdd.Budget{MaxNodes: *bddNodes, MaxSteps: *bddSteps},
 		TraceRequests:      *traceReqs || *slowTrace > 0,
 		SlowTraceThreshold: *slowTrace,

@@ -61,8 +61,14 @@ func (m *Manager) SetBudget(b Budget) {
 // cancel) aborts in-flight BDD operations. The context is polled
 // periodically inside the ITE recursion, so even a single huge apply call
 // notices cancellation promptly. A nil context disables polling.
+//
+// Cancellability is decided by ctx.Done() == nil, not by comparing
+// against context.Background()/context.TODO(): value-only wrappers
+// (context.WithValue over Background, e.g. the tracer the server's
+// middleware installs) can never be cancelled either, so they must not
+// arm the per-step polling path.
 func (m *Manager) SetContext(ctx context.Context) {
-	if ctx == context.Background() || ctx == context.TODO() {
+	if ctx != nil && ctx.Done() == nil {
 		ctx = nil
 	}
 	m.ctx = ctx

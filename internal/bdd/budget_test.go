@@ -130,3 +130,71 @@ func TestFromNetworkCtxDeadline(t *testing.T) {
 		t.Fatalf("expired deadline: err = %v, want ErrBudgetExceeded", err)
 	}
 }
+
+// TestSetContextClassifiesByCancellability is the wrapped-context
+// regression: SetContext used to compare ctx against
+// context.Background()/context.TODO() by identity, so a value-only
+// wrapper (what the server's trace middleware installs around every
+// request, and what trace.Start produces inside the engines) was
+// misclassified as cancellable and armed the per-step polling path —
+// and, conversely, the "no limits set" fast path (checked=false) was
+// lost. Cancellability must be decided by ctx.Done() == nil.
+func TestSetContextClassifiesByCancellability(t *testing.T) {
+	type ctxKey struct{}
+	uncancellable := []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"nil", nil},
+		{"background", context.Background()},
+		{"todo", context.TODO()},
+		{"value-wrapped background", context.WithValue(context.Background(), ctxKey{}, 42)},
+		{"doubly wrapped", context.WithValue(context.WithValue(context.Background(), ctxKey{}, 1), ctxKey{}, 2)},
+	}
+	for _, tc := range uncancellable {
+		m := New(4)
+		m.SetContext(tc.ctx)
+		if m.ctx != nil {
+			t.Errorf("%s: SetContext kept a context that can never be cancelled", tc.name)
+		}
+		if m.checked {
+			t.Errorf("%s: checked=true with no budget and an uncancellable context", tc.name)
+		}
+	}
+
+	// Genuinely cancellable contexts must be kept — including ones whose
+	// cancellation is hidden under value wrappers.
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, tc := range []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"cancellable", cctx},
+		{"value-wrapped cancellable", context.WithValue(cctx, ctxKey{}, 42)},
+	} {
+		m := New(4)
+		m.SetContext(tc.ctx)
+		if m.ctx == nil || !m.checked {
+			t.Errorf("%s: SetContext dropped a cancellable context (ctx=%v checked=%v)", tc.name, m.ctx, m.checked)
+		}
+	}
+
+	// End-to-end: a value-wrapped no-deadline context must behave exactly
+	// like Background — same nodes, no polling error.
+	nw, err := circuits.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := FromNetworkCtx(context.Background(), nw, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := FromNetworkCtx(context.WithValue(context.Background(), ctxKey{}, "trace"), nw, Budget{})
+	if err != nil {
+		t.Fatalf("value-wrapped background context errored: %v", err)
+	}
+	if plain.M.Size() != wrapped.M.Size() {
+		t.Fatalf("wrapped-context build diverged: %d nodes vs %d", wrapped.M.Size(), plain.M.Size())
+	}
+}

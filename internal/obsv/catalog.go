@@ -56,7 +56,10 @@ var catalog = map[string]MetricInfo{
 	"server.requests.estimate":   {Type: "counter", Help: "POST /v1/estimate requests."},
 	"server.requests.flow":       {Type: "counter", Help: "POST /v1/flow requests."},
 	"server.requests.experiment": {Type: "counter", Help: "GET /v1/experiments/{id} requests."},
-	"server.errors":              {Type: "counter", Help: "Requests answered with an error response."},
+	"server.requests.batch":      {Type: "counter", Help: "POST /v1/estimate:batch requests."},
+	"server.requests.jobs":       {Type: "counter", Help: "GET /v1/jobs/{id} polling requests."},
+	"server.errors":              {Type: "counter", Help: "Requests answered with a server error response (499 client aborts excluded)."},
+	"server.client_aborts":       {Type: "counter", Help: "Requests abandoned by the client (ctx cancelled, answered 499); not an availability SLO bad event."},
 	"server.inflight":            {Type: "gauge", Help: "Heavy computations currently holding a worker slot."},
 	"server.request.ns":          {Type: "timer", Help: "End-to-end handler time of API requests."},
 	"server.cache.net.hits":      {Type: "counter", Help: "Parsed-network cache hits."},
@@ -68,6 +71,24 @@ var catalog = map[string]MetricInfo{
 	"server.http.*.inflight":     {Type: "gauge", Help: "Requests currently being served, per endpoint."},
 	"server.trace.slow_dumps":    {Type: "counter", Help: "Slow-request span trees dumped as Chrome trace JSON."},
 	"server.trace.dump.errors":   {Type: "counter", Help: "Failed slow-trace dumps (never fatal to serving)."},
+
+	// Request coalescing (singleflight on the result-cache key).
+	"server.coalesce.leaders":  {Type: "counter", Help: "Computations led on behalf of a concurrent herd (one per flight)."},
+	"server.coalesce.hits":     {Type: "counter", Help: "Requests served by attaching to an in-flight identical computation."},
+	"server.coalesce.detached": {Type: "counter", Help: "Coalesced followers that gave up on their own deadline while the leader kept computing."},
+
+	// Batch estimation (POST /v1/estimate:batch).
+	"server.batch.items":       {Type: "counter", Help: "Estimate items received inside batch envelopes."},
+	"server.batch.dedup":       {Type: "counter", Help: "Batch items folded into another item with the same result-cache key."},
+	"server.batch.item_errors": {Type: "counter", Help: "Batch items that failed individually (the envelope still returns 200)."},
+
+	// Async flow jobs (POST /v1/flow?async=1, GET /v1/jobs/{id}).
+	"server.jobs.submitted": {Type: "counter", Help: "Async flow jobs accepted (202)."},
+	"server.jobs.completed": {Type: "counter", Help: "Async jobs that reached the done state."},
+	"server.jobs.failed":    {Type: "counter", Help: "Async jobs that ended in the error state."},
+	"server.jobs.rejected":  {Type: "counter", Help: "Async submissions refused because every job slot was queued or running (503)."},
+	"server.jobs.evicted":   {Type: "counter", Help: "Finished jobs dropped by TTL expiry or capacity eviction."},
+	"server.jobs.active":    {Type: "gauge", Help: "Jobs currently resident in the bounded job store."},
 
 	// Rolling-window status series (GET /v1/status and the rows folded
 	// into /metrics?format=prom). These are labeled gauges written by

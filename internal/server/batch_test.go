@@ -1,0 +1,99 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestBatchMixedGoodBadItems: per-item status isolation — bad items
+// report their own 400s, good items return bodies byte-identical to
+// /v1/estimate, intra-batch duplicates dedup to one computation.
+func TestBatchMixedGoodBadItems(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	dedupBefore := metricValue(t, ts, "server.batch.dedup")
+	req := BatchRequest{Items: []EstimateRequest{
+		{circuitRef: circuitRef{Circuit: "mult4"}, Estimator: "exact"},
+		{circuitRef: circuitRef{Circuit: "warp-core"}},
+		{circuitRef: circuitRef{Circuit: "mult4"}, Estimator: "exact"}, // duplicate of item 0
+		{circuitRef: circuitRef{Circuit: "mult4"}, Estimator: "vibes"},
+	}}
+	status, body, _ := post(t, ts, "/v1/estimate:batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("mixed batch: status %d body %s, want 200 with per-item statuses", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 4 {
+		t.Fatalf("items = %d, want 4", len(resp.Items))
+	}
+	if !resp.Items[0].OK || resp.Items[0].Status != http.StatusOK || len(resp.Items[0].Result) == 0 {
+		t.Fatalf("good item: %+v", resp.Items[0])
+	}
+	for _, i := range []int{1, 3} {
+		if resp.Items[i].OK || resp.Items[i].Status != http.StatusBadRequest || resp.Items[i].Error == "" {
+			t.Fatalf("bad item %d: %+v, want its own 400", i, resp.Items[i])
+		}
+	}
+	if !bytes.Equal(resp.Items[2].Result, resp.Items[0].Result) {
+		t.Error("duplicate item result differs from its twin")
+	}
+	if got := metricValue(t, ts, "server.batch.dedup") - dedupBefore; got != 1 {
+		t.Errorf("batch.dedup delta = %v, want 1 (one folded duplicate)", got)
+	}
+
+	// The item body is byte-identical to the singleton endpoint's
+	// payload (the wire adds only the framing newline).
+	status, single, cache := post(t, ts, "/v1/estimate", req.Items[0])
+	if status != http.StatusOK {
+		t.Fatalf("singleton: status %d", status)
+	}
+	if cache != "hit" {
+		t.Errorf("singleton after batch was cache-%s: batch results must seed the shared cache", cache)
+	}
+	if !bytes.Equal(bytes.TrimSuffix(single, []byte("\n")), resp.Items[0].Result) {
+		t.Errorf("batch item and /v1/estimate bodies differ:\n%s\nvs\n%s", resp.Items[0].Result, single)
+	}
+}
+
+func TestBatchEnvelopeValidation(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBatchItems: 2})
+	status, body, _ := post(t, ts, "/v1/estimate:batch", BatchRequest{})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d body %s, want 400", status, body)
+	}
+	three := BatchRequest{Items: []EstimateRequest{
+		{circuitRef: circuitRef{Circuit: "mult4"}},
+		{circuitRef: circuitRef{Circuit: "cla8"}},
+		{circuitRef: circuitRef{Circuit: "cmp8"}},
+	}}
+	status, body, _ = post(t, ts, "/v1/estimate:batch", three)
+	if status != http.StatusBadRequest || !bytes.Contains(body, []byte("maximum")) {
+		t.Errorf("oversized batch: status %d body %s, want 400 naming the cap", status, body)
+	}
+}
+
+// TestBatchAllItemsFail: the envelope still answers 200; failure is a
+// per-item property.
+func TestBatchAllItemsFail(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	status, body, _ := post(t, ts, "/v1/estimate:batch", BatchRequest{Items: []EstimateRequest{
+		{circuitRef: circuitRef{Circuit: "nope1"}},
+		{circuitRef: circuitRef{Circuit: "nope2"}},
+	}})
+	if status != http.StatusOK {
+		t.Fatalf("all-bad batch: status %d, want 200", status)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range resp.Items {
+		if item.OK || item.Status != http.StatusBadRequest {
+			t.Errorf("item %d: %+v, want 400", i, item)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync"
+)
+
+// Request coalescing (singleflight on the result-cache key).
+//
+// The response cache already guarantees that identical requests are
+// computed once *sequentially*; coalescing extends that to identical
+// requests in flight at the same time. A thundering herd of N identical
+// estimates — the shape a popular circuit produces behind a fleet of
+// clients — elects one leader that computes under its own deadline;
+// the other N-1 become followers that wait for the leader's bytes.
+// Because responses are byte-deterministic (the serving contract since
+// PR 5), handing a follower the leader's body is indistinguishable from
+// computing it again, minus the work.
+//
+// Deadline semantics are per-request, never shared:
+//
+//   - A follower whose own context expires DETACHES: it gives up with
+//     its own ctx error (504 for a deadline, 499 for a client abort)
+//     without cancelling the leader — other followers are still waiting
+//     on that computation.
+//   - A leader that fails (its deadline expired, a transient error)
+//     fails alone: its error is published so current followers stop
+//     waiting, but each follower then re-enters the pipeline under its
+//     own still-live context — the next one in becomes the new leader.
+//     A follower with a generous deadline must never inherit a 504 from
+//     a leader with a stingy one.
+
+// flight is one in-progress computation for a result-cache key. The
+// leader fills res/err and closes done exactly once; followers only
+// ever read after <-done.
+type flight struct {
+	done chan struct{}
+	res  cachedResult
+	err  error
+}
+
+// flightGroup tracks the in-flight computation per result-cache key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating (and assigning leadership
+// to the caller for) one when none is in progress.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and retires the flight. New
+// arrivals for the key start a fresh flight (or, on success, hit the
+// result cache, which the leader populates before calling finish).
+func (g *flightGroup) finish(key string, f *flight, res cachedResult, err error) {
+	f.res, f.err = res, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// jsonBody marshals a request payload for httptest.NewRequest.
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// TestWriteErrorClassifiesClientAbort pins the 499-vs-5xx accounting:
+// a client-cancelled context maps to 499 and counts as a client abort,
+// not a server error; a deadline expiry stays a 504 server error.
+func TestWriteErrorClassifiesClientAbort(t *testing.T) {
+	s := New(Config{})
+	abortsBase := s.clientAborts.Value()
+	errorsBase := s.reqErrors.Value()
+
+	rec := httptest.NewRecorder()
+	s.writeError(rec, context.Canceled)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("context.Canceled → %d, want 499", rec.Code)
+	}
+	if got := s.clientAborts.Value() - abortsBase; got != 1 {
+		t.Errorf("client_aborts delta = %d, want 1", got)
+	}
+	if got := s.reqErrors.Value() - errorsBase; got != 0 {
+		t.Errorf("server.errors delta = %d, want 0: a client abort is not a server error", got)
+	}
+
+	rec = httptest.NewRecorder()
+	s.writeError(rec, context.DeadlineExceeded)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("context.DeadlineExceeded → %d, want 504", rec.Code)
+	}
+	if got := s.reqErrors.Value() - errorsBase; got != 1 {
+		t.Errorf("server.errors delta after 504 = %d, want 1", got)
+	}
+	if got := s.clientAborts.Value() - abortsBase; got != 1 {
+		t.Errorf("client_aborts delta after 504 = %d, want still 1", got)
+	}
+}
+
+// TestClientDisconnectMidCompute drives the full path: a client that
+// walks away while its flow is computing gets a 499 on the (recorded)
+// response, and the abort is excluded from both the windowed error
+// counters and the availability SLO — a disconnecting client must not
+// burn the server's error budget.
+func TestClientDisconnectMidCompute(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	abortsBase := s.clientAborts.Value()
+	errorsBase := s.reqErrors.Value()
+	leadersBase := s.coalLeaders.Value()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/flow",
+		jsonBody(t, FlowRequest{circuitRef: circuitRef{Circuit: "mult6"}, Flow: "lowpower"})).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(rec, req)
+	}()
+
+	// Wait until the request has been elected compute leader — it is now
+	// mid-compute — then hang up.
+	waitUntil(t, 10*time.Second, func() bool { return s.coalLeaders.Value()-leadersBase == 1 })
+	cancel()
+	<-done
+
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("mid-compute disconnect → %d, want 499", rec.Code)
+	}
+	if got := s.clientAborts.Value() - abortsBase; got != 1 {
+		t.Errorf("client_aborts delta = %d, want 1", got)
+	}
+	if got := s.reqErrors.Value() - errorsBase; got != 0 {
+		t.Errorf("server.errors delta = %d, want 0", got)
+	}
+	// Windowed telemetry recorded the request but no error, and the
+	// availability objective is untouched (bad events are status >= 500).
+	fw := s.tel.eps["flow"]
+	if fw.requests.Total() != 1 || fw.errors.Total() != 0 {
+		t.Errorf("flow window: %d requests / %d errors, want 1 / 0",
+			fw.requests.Total(), fw.errors.Total())
+	}
+	if v := s.tel.availability.Evaluate(); v.State != "ok" {
+		t.Errorf("availability SLO %q after a lone 499, want ok (aborts excluded from budget)", v.State)
+	}
+}

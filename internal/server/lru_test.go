@@ -39,6 +39,36 @@ func TestLRUGetRefreshesRecency(t *testing.T) {
 	}
 }
 
+// TestLRURePutKeepsLenAndRefreshesEvictionOrder is the regression test
+// for re-Put of a live key: it must not grow the cache (no duplicate
+// list entries) and it must refresh the key's recency, so the next
+// eviction takes the true oldest entry.
+func TestLRURePutKeepsLenAndRefreshesEvictionOrder(t *testing.T) {
+	c := newLRU(3, nil, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Put("a", 10) // re-Put: in-place update, a becomes most recent
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after re-Put of a live key, want 3", c.Len())
+	}
+	c.Put("d", 4) // evicts b — the oldest now that a was refreshed
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived: re-Put of a must have made b the eviction victim")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Errorf("a = %v, %v; want the refreshed value 10 still cached", v, ok)
+	}
+	for _, k := range []string{"c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s was evicted, want it retained", k)
+		}
+	}
+}
+
 func TestLRUPutUpdatesInPlace(t *testing.T) {
 	c := newLRU(2, nil, nil)
 	c.Put("a", 1)

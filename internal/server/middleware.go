@@ -18,15 +18,19 @@ import (
 // endpoints are the stable labels request metrics and access-log lines
 // are keyed by — the route surface, not raw paths, so /v1/experiments/E7
 // and /v1/experiments/E12 land in one histogram family.
-var endpoints = []string{"estimate", "flow", "experiment", "circuits", "metrics", "status", "healthz", "pprof", "other"}
+var endpoints = []string{"estimate", "batch", "flow", "jobs", "experiment", "circuits", "metrics", "status", "healthz", "pprof", "other"}
 
 // endpointOf maps a request path to its metric label.
 func endpointOf(path string) string {
 	switch {
 	case path == "/v1/estimate":
 		return "estimate"
+	case path == "/v1/estimate:batch":
+		return "batch"
 	case path == "/v1/flow":
 		return "flow"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		return "jobs"
 	case strings.HasPrefix(path, "/v1/experiments/"):
 		return "experiment"
 	case path == "/v1/circuits":

@@ -92,6 +92,14 @@ type Config struct {
 	// the request sets neither bdd_max_nodes nor bdd_max_steps. The zero
 	// value means unlimited.
 	DefaultBudget bdd.Budget
+	// MaxBatchItems caps the items accepted by POST /v1/estimate:batch
+	// (default 32).
+	MaxBatchItems int
+	// MaxJobs bounds the async job store; submissions past the bound
+	// (after TTL eviction) are rejected with 503 (default 256). JobTTL
+	// is how long a finished job's result stays pollable (default 10m).
+	MaxJobs int
+	JobTTL  time.Duration
 
 	// TraceRequests installs a per-request span tree (internal/obsv/trace)
 	// in every request context: handler phases and engine internals
@@ -147,6 +155,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 32
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
 	if c.ShortWindow <= 0 {
 		c.ShortWindow = 5 * time.Minute
 	}
@@ -166,13 +183,20 @@ type Server struct {
 	sem     chan struct{} // bounded worker pool
 	nets    *lruCache     // input key -> *netEntry (shared, read-only)
 	results *lruCache     // result key -> []byte (finished response bodies)
+	flights *flightGroup  // in-flight computation per result key
+	jobs    *jobStore     // async flow jobs
 
-	reg       *obsv.Registry
-	reqTotal  *obsv.Counter
-	reqErrors *obsv.Counter
-	inflight  *obsv.Gauge
-	inflightN atomic.Int64 // backs the inflight gauge (Gauge has Set, not Add)
-	reqTimer  *obsv.Timer
+	reg          *obsv.Registry
+	reqTotal     *obsv.Counter
+	reqErrors    *obsv.Counter
+	clientAborts *obsv.Counter
+	inflight     *obsv.Gauge
+	inflightN    atomic.Int64 // backs the inflight gauge (Gauge has Set, not Add)
+	reqTimer     *obsv.Timer
+
+	coalLeaders  *obsv.Counter // computations led on behalf of a herd
+	coalHits     *obsv.Counter // requests served by attaching to a leader
+	coalDetached *obsv.Counter // followers that gave up on their own deadline
 
 	// Per-endpoint and rolling-window telemetry. Both maps are built
 	// exactly once (initTelemetry, sync.Once) before the server is
@@ -198,16 +222,22 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := obsv.Enable()
 	s := &Server{
-		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.Workers),
-		nets:      newLRU(cfg.NetworkCacheSize, reg.Counter("server.cache.net.hits"), reg.Counter("server.cache.net.misses")),
-		results:   newLRU(cfg.ResultCacheSize, reg.Counter("server.cache.result.hits"), reg.Counter("server.cache.result.misses")),
-		reg:       reg,
-		reqTotal:  reg.Counter("server.requests"),
-		reqErrors: reg.Counter("server.errors"),
-		inflight:  reg.Gauge("server.inflight"),
-		reqTimer:  reg.Timer("server.request.ns"),
+		cfg:          cfg,
+		sem:          make(chan struct{}, cfg.Workers),
+		nets:         newLRU(cfg.NetworkCacheSize, reg.Counter("server.cache.net.hits"), reg.Counter("server.cache.net.misses")),
+		results:      newLRU(cfg.ResultCacheSize, reg.Counter("server.cache.result.hits"), reg.Counter("server.cache.result.misses")),
+		flights:      newFlightGroup(),
+		reg:          reg,
+		reqTotal:     reg.Counter("server.requests"),
+		reqErrors:    reg.Counter("server.errors"),
+		clientAborts: reg.Counter("server.client_aborts"),
+		inflight:     reg.Gauge("server.inflight"),
+		reqTimer:     reg.Timer("server.request.ns"),
+		coalLeaders:  reg.Counter("server.coalesce.leaders"),
+		coalHits:     reg.Counter("server.coalesce.hits"),
+		coalDetached: reg.Counter("server.coalesce.detached"),
 	}
+	s.jobs = newJobStore(cfg, reg)
 	s.initTelemetry()
 	return s
 }
@@ -231,7 +261,9 @@ func (s *Server) initTelemetry() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/estimate:batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/flow", s.handleFlow)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -257,20 +289,39 @@ func badRequest(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// writeError maps an error to a JSON error response. Deadline expiry maps
-// to 504 (the server gave up on the computation), queue-full to 503.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	s.reqErrors.Inc()
-	status := http.StatusInternalServerError
+// statusClientClosedRequest is nginx's 499: the client cancelled the
+// request (closed the connection) before the server finished. It is a
+// client disposition, not a server failure — writeError keeps it out of
+// server.errors and, being < 500, it never counts against the
+// availability SLO (telemetry.record's bad-event rule is status >= 500).
+const statusClientClosedRequest = 499
+
+// errorStatus maps an error to its HTTP status: explicit apiError
+// status first, then deadline expiry to 504 (the server gave up on the
+// computation) and client cancellation to 499. Queue-full produces a
+// 503 apiError at the acquire site.
+func errorStatus(err error) int {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
-		status = ae.status
+		return ae.status
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		// Client went away; the status is for the access log only.
-		status = 499
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// writeError maps an error to a JSON error response. Client aborts
+// (499) are counted separately from server errors: a disconnecting
+// client must not burn the availability error budget.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := errorStatus(err)
+	if status == statusClientClosedRequest {
+		s.clientAborts.Inc()
+	} else {
+		s.reqErrors.Inc()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -289,18 +340,71 @@ type cachedResult struct {
 // writeCached serves a response body with its cache and degraded
 // dispositions in the X-Cache / X-Degraded headers — never in the body,
 // which must stay byte-identical between a computed and a replayed
-// response.
-func writeCached(w http.ResponseWriter, res cachedResult, hit bool) {
+// response. The disposition is "hit" (result cache), "miss" (computed
+// here) or "coalesced" (attached to a concurrent identical computation).
+// Cached bodies are stored compact (no framing newline) so they embed
+// verbatim as json.RawMessage in batch and job envelopes; the trailing
+// newline is wire framing, added here.
+func writeCached(w http.ResponseWriter, res cachedResult, disposition string) {
 	w.Header().Set("Content-Type", "application/json")
-	if hit {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
+	w.Header().Set("X-Cache", disposition)
 	if res.degraded {
 		w.Header().Set("X-Degraded", "true")
 	}
 	w.Write(res.body)
+	w.Write([]byte("\n"))
+}
+
+// resultFor is the shared serve-one-cacheable-result pipeline: result
+// cache first, then the coalescing flight group, with compute run only
+// by the elected leader (under the leader's own ctx — compute is
+// responsible for acquiring a worker slot). The returned disposition is
+// the X-Cache value. Follower semantics are per-request: a follower
+// whose ctx dies detaches with its own ctx error and the leader keeps
+// running; a follower whose leader fails retries the pipeline under its
+// own still-live ctx (becoming the next leader if nobody beat it in).
+func (s *Server) resultFor(ctx context.Context, key string, compute func(context.Context) (cachedResult, error)) (cachedResult, string, error) {
+	for {
+		if res, ok := s.results.Get(key); ok {
+			return res.(cachedResult), "hit", nil
+		}
+		f, leader := s.flights.join(key)
+		if !leader {
+			s.coalHits.Inc()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.res, "coalesced", nil
+				}
+				// The leader failed on its own terms (its deadline, a
+				// transient error). That error is not ours: retry under
+				// our own ctx — unless ours is dead too.
+				if err := ctx.Err(); err != nil {
+					return cachedResult{}, "", err
+				}
+				continue
+			case <-ctx.Done():
+				// Detach. The leader is NOT cancelled: other followers
+				// (and the cache) still want its result.
+				s.coalDetached.Inc()
+				return cachedResult{}, "", ctx.Err()
+			}
+		}
+		// Leader. Between our cache miss and winning leadership a previous
+		// leader may have finished and populated the cache — recheck so a
+		// key is computed at most once per cache lifetime.
+		if res, ok := s.results.Get(key); ok {
+			s.flights.finish(key, f, res.(cachedResult), nil)
+			return res.(cachedResult), "hit", nil
+		}
+		s.coalLeaders.Inc()
+		res, err := compute(ctx)
+		if err == nil {
+			s.results.Put(key, res)
+		}
+		s.flights.finish(key, f, res, err)
+		return res, "miss", err
+	}
 }
 
 // acquire claims a worker-pool slot, giving up when ctx expires while
@@ -499,6 +603,89 @@ type EstimateResponse struct {
 
 const maxVectors = 1 << 16
 
+// estimateSpec is a validated, default-filled EstimateRequest: everything
+// estimateResult needs, normalized so equal specs produce equal cache keys.
+type estimateSpec struct {
+	ref       circuitRef
+	estimator string
+	vectors   int
+	seed      int64
+	p1        float64
+	budget    bdd.Budget
+	timeout   time.Duration
+}
+
+// validateEstimate applies defaults and validates an EstimateRequest.
+// Shared by /v1/estimate and each /v1/estimate:batch item so both
+// surfaces accept exactly the same requests.
+func (s *Server) validateEstimate(req EstimateRequest) (estimateSpec, error) {
+	spec := estimateSpec{ref: req.circuitRef, estimator: req.Estimator, vectors: req.Vectors, seed: req.Seed}
+	if spec.estimator == "" {
+		spec.estimator = "exact"
+	}
+	switch spec.estimator {
+	case "exact", "propagated", "simulated", "packed":
+	default:
+		return spec, badRequest("unknown estimator %q (want exact, propagated, simulated or packed)", spec.estimator)
+	}
+	if spec.vectors <= 0 {
+		spec.vectors = 1000
+	}
+	if spec.vectors > maxVectors {
+		return spec, badRequest("vectors %d exceeds the maximum %d", spec.vectors, maxVectors)
+	}
+	if spec.seed == 0 {
+		spec.seed = 1
+	}
+	spec.p1 = 0.5
+	if req.P1 != nil {
+		spec.p1 = *req.P1
+	}
+	if spec.p1 < 0 || spec.p1 > 1 {
+		return spec, badRequest("p1 %g outside [0,1]", spec.p1)
+	}
+	spec.budget = s.budgetFor(req.BDDMaxNodes, req.BDDMaxSteps)
+	spec.timeout = s.timeoutFor(req.TimeoutMS)
+	return spec, nil
+}
+
+// estimateKey is the result-cache (and coalescing) key for an estimate.
+// The deadline (timeout_ms) is deliberately NOT part of the key: it only
+// decides whether the computation finishes, never what it computes, and
+// aborted computations are not cached.
+func estimateKey(hash string, spec estimateSpec) string {
+	return fmt.Sprintf("estimate|%s|est=%s;v=%d;seed=%d;p1=%g;bn=%d;bs=%d",
+		hash, spec.estimator, spec.vectors, spec.seed, spec.p1, spec.budget.MaxNodes, spec.budget.MaxSteps)
+}
+
+// estimateResult serves one resolved estimate through the shared
+// cache/coalesce/compute pipeline. The worker-pool slot is acquired
+// inside the compute closure, so cache hits and coalesced followers
+// never occupy (or queue for) a worker.
+func (s *Server) estimateResult(ctx context.Context, ep string, ent *netEntry, spec estimateSpec) (cachedResult, string, error) {
+	return s.resultFor(ctx, estimateKey(ent.hash, spec), func(ctx context.Context) (cachedResult, error) {
+		if err := s.acquire(ctx, ep); err != nil {
+			return cachedResult{}, err
+		}
+		defer s.release()
+		cctx, csp := trace.Start(ctx, "compute.estimate")
+		if csp != nil {
+			csp.SetAttr("estimator", spec.estimator)
+			csp.SetAttr("circuit", ent.nw.Name)
+		}
+		resp, err := s.computeEstimate(cctx, ent, spec.estimator, spec.vectors, spec.seed, spec.p1, spec.budget)
+		csp.End()
+		if err != nil {
+			return cachedResult{}, err
+		}
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return cachedResult{}, err
+		}
+		return cachedResult{body: body, degraded: resp.Power.Degraded}, nil
+	})
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Inc()
 	s.reg.Counter("server.requests.estimate").Inc()
@@ -509,76 +696,24 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if req.Estimator == "" {
-		req.Estimator = "exact"
-	}
-	switch req.Estimator {
-	case "exact", "propagated", "simulated", "packed":
-	default:
-		s.writeError(w, badRequest("unknown estimator %q (want exact, propagated, simulated or packed)", req.Estimator))
+	spec, err := s.validateEstimate(req)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
-	if req.Vectors <= 0 {
-		req.Vectors = 1000
-	}
-	if req.Vectors > maxVectors {
-		s.writeError(w, badRequest("vectors %d exceeds the maximum %d", req.Vectors, maxVectors))
-		return
-	}
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
-	p1 := 0.5
-	if req.P1 != nil {
-		p1 = *req.P1
-	}
-	if p1 < 0 || p1 > 1 {
-		s.writeError(w, badRequest("p1 %g outside [0,1]", p1))
-		return
-	}
-	budget := s.budgetFor(req.BDDMaxNodes, req.BDDMaxSteps)
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
 	defer cancel()
-	if err := s.acquire(ctx, "estimate"); err != nil {
-		s.writeError(w, err)
-		return
-	}
-	defer s.release()
-
-	ent, err := s.resolveNetwork(ctx, req.circuitRef)
+	ent, err := s.resolveNetwork(ctx, spec.ref)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	// The deadline (timeout_ms) is deliberately NOT part of the key: it
-	// only decides whether the computation finishes, never what it
-	// computes, and aborted computations are not cached.
-	key := fmt.Sprintf("estimate|%s|est=%s;v=%d;seed=%d;p1=%g;bn=%d;bs=%d",
-		ent.hash, req.Estimator, req.Vectors, req.Seed, p1, budget.MaxNodes, budget.MaxSteps)
-	if res, ok := s.results.Get(key); ok {
-		writeCached(w, res.(cachedResult), true)
-		return
-	}
-	cctx, csp := trace.Start(ctx, "compute.estimate")
-	if csp != nil {
-		csp.SetAttr("estimator", req.Estimator)
-		csp.SetAttr("circuit", ent.nw.Name)
-	}
-	resp, err := s.computeEstimate(cctx, ent, req.Estimator, req.Vectors, req.Seed, p1, budget)
-	csp.End()
+	res, disp, err := s.estimateResult(ctx, "estimate", ent, spec)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	body, err := json.Marshal(resp)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	res := cachedResult{body: append(body, '\n'), degraded: resp.Power.Degraded}
-	s.results.Put(key, res)
-	writeCached(w, res, false)
+	writeCached(w, res, disp)
 }
 
 // computeEstimate runs one estimator over a shared (never mutated)
@@ -700,6 +835,114 @@ type FlowResponse struct {
 	SimPowerRatio float64 `json:"sim_power_ratio"`
 }
 
+// flowSpec is a validated, default-filled FlowRequest.
+type flowSpec struct {
+	ref         circuitRef
+	flow        core.Flow
+	seed        int64
+	verify      bool
+	budget      bdd.Budget
+	incremental bool
+	timeout     time.Duration
+	// hasTimeout records whether the request named timeout_ms: async jobs
+	// without one run under MaxTimeout instead of DefaultTimeout.
+	hasTimeout bool
+}
+
+// validateFlow applies defaults and validates a FlowRequest. Shared by
+// the sync handler and the async job submission path.
+func (s *Server) validateFlow(req FlowRequest) (flowSpec, error) {
+	spec := flowSpec{ref: req.circuitRef, seed: req.Seed, incremental: req.Incremental}
+	flows := core.StandardFlows()
+	flow, ok := flows[req.Flow]
+	if !ok {
+		names := make([]string, 0, len(flows))
+		for n := range flows {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return spec, badRequest("unknown flow %q (want one of %s)", req.Flow, strings.Join(names, ", "))
+	}
+	spec.flow = flow
+	if spec.seed == 0 {
+		spec.seed = 1
+	}
+	spec.verify = true
+	if req.Verify != nil {
+		spec.verify = *req.Verify
+	}
+	spec.budget = s.budgetFor(req.BDDMaxNodes, req.BDDMaxSteps)
+	spec.timeout = s.timeoutFor(req.TimeoutMS)
+	spec.hasTimeout = req.TimeoutMS > 0
+	return spec, nil
+}
+
+// flowKey is the result-cache (and coalescing) key for a flow run.
+func flowKey(hash string, spec flowSpec) string {
+	return fmt.Sprintf("flow|%s|flow=%s;seed=%d;verify=%t;bn=%d;bs=%d;incr=%t",
+		hash, spec.flow.Name, spec.seed, spec.verify, spec.budget.MaxNodes, spec.budget.MaxSteps, spec.incremental)
+}
+
+// flowResult serves one resolved flow run through the shared
+// cache/coalesce/compute pipeline; sync requests and async jobs both
+// land here, so a poll-completed job seeds the cache for later sync
+// requests (and vice versa).
+func (s *Server) flowResult(ctx context.Context, ent *netEntry, spec flowSpec) (cachedResult, string, error) {
+	return s.resultFor(ctx, flowKey(ent.hash, spec), func(ctx context.Context) (cachedResult, error) {
+		if err := s.acquire(ctx, "flow"); err != nil {
+			return cachedResult{}, err
+		}
+		defer s.release()
+		// Flows rewrite the network in place: work on a clone so the cached
+		// network stays pristine for every other request.
+		nw := ent.nw.Clone()
+		fctx := core.NewContext(nw, spec.seed)
+		fctx.Verify = spec.verify
+		fctx.ExactBudget = spec.budget
+		fctx.Incremental = spec.incremental
+		cctx, csp := trace.Start(ctx, "compute.flow")
+		if csp != nil {
+			csp.SetAttr("flow", spec.flow.Name)
+			csp.SetAttr("circuit", nw.Name)
+		}
+		frep, err := core.RunFlowCtx(cctx, nw, spec.flow, fctx)
+		csp.End()
+		if err != nil {
+			return cachedResult{}, err
+		}
+		resp := &FlowResponse{
+			Circuit:   nw.Name,
+			Flow:      spec.flow.Name,
+			Hash:      ent.hash,
+			FinalHash: logic.StructuralHash(nw),
+			Passes:    spec.flow.Passes,
+			Steps:     []SnapshotJSON{},
+		}
+		for _, snap := range frep.Steps {
+			resp.Steps = append(resp.Steps, SnapshotJSON{
+				Label: snap.Label, Gates: snap.Gates, Depth: snap.Depth,
+				FlipFlops: snap.FlipFlops, ExactP: snap.ExactP, SimP: snap.SimP,
+				Spurious: snap.Spurious, Degraded: snap.Degraded,
+			})
+		}
+		if initial := frep.Initial().SimP; initial > 0 {
+			resp.SimPowerRatio = frep.Final().SimP / initial
+		}
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return cachedResult{}, err
+		}
+		degraded := false
+		for _, st := range resp.Steps {
+			if st.Degraded {
+				degraded = true
+				break
+			}
+		}
+		return cachedResult{body: body, degraded: degraded}, nil
+	})
+}
+
 func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Inc()
 	s.reg.Counter("server.requests.flow").Inc()
@@ -710,97 +953,28 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	flows := core.StandardFlows()
-	flow, ok := flows[req.Flow]
-	if !ok {
-		names := make([]string, 0, len(flows))
-		for n := range flows {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		s.writeError(w, badRequest("unknown flow %q (want one of %s)", req.Flow, strings.Join(names, ", ")))
+	spec, err := s.validateFlow(req)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
-	if req.Seed == 0 {
-		req.Seed = 1
+	if r.URL.Query().Get("async") == "1" {
+		s.submitFlowJob(w, r, spec)
+		return
 	}
-	verify := true
-	if req.Verify != nil {
-		verify = *req.Verify
-	}
-	budget := s.budgetFor(req.BDDMaxNodes, req.BDDMaxSteps)
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
 	defer cancel()
-	if err := s.acquire(ctx, "flow"); err != nil {
-		s.writeError(w, err)
-		return
-	}
-	defer s.release()
-
-	ent, err := s.resolveNetwork(ctx, req.circuitRef)
+	ent, err := s.resolveNetwork(ctx, spec.ref)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	key := fmt.Sprintf("flow|%s|flow=%s;seed=%d;verify=%t;bn=%d;bs=%d;incr=%t",
-		ent.hash, flow.Name, req.Seed, verify, budget.MaxNodes, budget.MaxSteps, req.Incremental)
-	if res, ok := s.results.Get(key); ok {
-		writeCached(w, res.(cachedResult), true)
-		return
-	}
-
-	// Flows rewrite the network in place: work on a clone so the cached
-	// network stays pristine for every other request.
-	nw := ent.nw.Clone()
-	fctx := core.NewContext(nw, req.Seed)
-	fctx.Verify = verify
-	fctx.ExactBudget = budget
-	fctx.Incremental = req.Incremental
-	cctx, csp := trace.Start(ctx, "compute.flow")
-	if csp != nil {
-		csp.SetAttr("flow", flow.Name)
-		csp.SetAttr("circuit", nw.Name)
-	}
-	frep, err := core.RunFlowCtx(cctx, nw, flow, fctx)
-	csp.End()
+	res, disp, err := s.flowResult(ctx, ent, spec)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	resp := &FlowResponse{
-		Circuit:   nw.Name,
-		Flow:      flow.Name,
-		Hash:      ent.hash,
-		FinalHash: logic.StructuralHash(nw),
-		Passes:    flow.Passes,
-		Steps:     []SnapshotJSON{},
-	}
-	for _, snap := range frep.Steps {
-		resp.Steps = append(resp.Steps, SnapshotJSON{
-			Label: snap.Label, Gates: snap.Gates, Depth: snap.Depth,
-			FlipFlops: snap.FlipFlops, ExactP: snap.ExactP, SimP: snap.SimP,
-			Spurious: snap.Spurious, Degraded: snap.Degraded,
-		})
-	}
-	if initial := frep.Initial().SimP; initial > 0 {
-		resp.SimPowerRatio = frep.Final().SimP / initial
-	}
-	body, err := json.Marshal(resp)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	degraded := false
-	for _, st := range resp.Steps {
-		if st.Degraded {
-			degraded = true
-			break
-		}
-	}
-	res := cachedResult{body: append(body, '\n'), degraded: degraded}
-	s.results.Put(key, res)
-	writeCached(w, res, false)
+	writeCached(w, res, disp)
 }
 
 // ---------------------------------------------------------------------------
@@ -826,39 +1000,31 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
 	defer cancel()
-	if err := s.acquire(ctx, "experiment"); err != nil {
-		s.writeError(w, err)
-		return
-	}
-	defer s.release()
-
-	key := "experiment|" + id
-	if res, ok := s.results.Get(key); ok {
-		writeCached(w, res.(cachedResult), true)
-		return
-	}
-	cctx, csp := trace.Start(ctx, "compute.experiment")
-	if csp != nil {
-		csp.SetAttr("id", id)
-	}
-	res := experiments.RunAllCtx(cctx, []experiments.Experiment{*ex}, 1, 0)
-	csp.End()
-	if res[0].Skipped {
-		s.writeError(w, res[0].Err)
-		return
-	}
-	if res[0].Err != nil {
-		s.writeError(w, res[0].Err)
-		return
-	}
-	body, err := json.Marshal(map[string]any{"id": id, "table": res[0].Table})
+	cr, disp, err := s.resultFor(ctx, "experiment|"+id, func(ctx context.Context) (cachedResult, error) {
+		if err := s.acquire(ctx, "experiment"); err != nil {
+			return cachedResult{}, err
+		}
+		defer s.release()
+		cctx, csp := trace.Start(ctx, "compute.experiment")
+		if csp != nil {
+			csp.SetAttr("id", id)
+		}
+		res := experiments.RunAllCtx(cctx, []experiments.Experiment{*ex}, 1, 0)
+		csp.End()
+		if res[0].Skipped || res[0].Err != nil {
+			return cachedResult{}, res[0].Err
+		}
+		body, err := json.Marshal(map[string]any{"id": id, "table": res[0].Table})
+		if err != nil {
+			return cachedResult{}, err
+		}
+		return cachedResult{body: body}, nil
+	})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	cr := cachedResult{body: append(body, '\n')}
-	s.results.Put(key, cr)
-	writeCached(w, cr, false)
+	writeCached(w, cr, disp)
 }
 
 // ---------------------------------------------------------------------------

@@ -89,7 +89,7 @@ func newTelemetry(cfg Config) *telemetry {
 // sloEndpoints are the endpoint labels whose requests feed the SLO
 // trackers: the ones that run real computations.
 func sloEndpoint(ep string) bool {
-	return ep == "estimate" || ep == "flow" || ep == "experiment"
+	return ep == "estimate" || ep == "batch" || ep == "flow" || ep == "experiment"
 }
 
 // record feeds one finished request into the rolling windows. Safe on
@@ -111,7 +111,9 @@ func (t *telemetry) record(ep string, status int, elapsed time.Duration, cache s
 		ew.degraded.Inc()
 	}
 	switch cache {
-	case "hit":
+	case "hit", "coalesced":
+		// Coalesced followers count as hits: from the capacity planner's
+		// seat both mean "served without a computation of its own".
 		ew.cacheHits.Inc()
 	case "miss":
 		ew.cacheMiss.Inc()
