@@ -1,5 +1,5 @@
 // Package repro's root benchmark harness: one testing.B benchmark per
-// experiment table (E1..E17 — the reproduction's "tables and figures"),
+// experiment table (E1..E18 — the reproduction's "tables and figures"),
 // plus micro-benchmarks for the hot substrates (BDD construction,
 // event-driven simulation, espresso minimization, technology mapping).
 //
@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -158,6 +159,11 @@ func BenchmarkE17Incremental(b *testing.B) {
 			}
 			return best
 		})
+}
+
+func BenchmarkE18BDDSynth(b *testing.B) {
+	benchExperiment(b, experiments.E18BDDSynth, "cmp16_sifted_nodes",
+		func(t *experiments.Table) float64 { return cell(t, len(t.Rows)-1, 2) })
 }
 
 func BenchmarkProbabilityAblation(b *testing.B) {
@@ -648,4 +654,66 @@ func BenchmarkMonteCarloParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBddSiftVsFixed builds the 12-bit comparator's global BDDs
+// under the fixed declaration order vs with dynamic sifting reordering.
+// The node-count metric is the point: the fixed order needs tens of
+// thousands of nodes where the sifted order finds an interleaved one a
+// couple orders of magnitude smaller, which is exactly the gap the
+// reorder-retry rung of the estimation ladder exploits.
+func BenchmarkBddSiftVsFixed(b *testing.B) {
+	nw, err := circuits.Comparator(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fixed", func(b *testing.B) {
+		nodes := 0
+		for i := 0; i < b.N; i++ {
+			nb, err := bdd.FromNetwork(nw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = nb.M.Size() - 2
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	})
+	b.Run("sifted", func(b *testing.B) {
+		nodes := 0
+		for i := 0; i < b.N; i++ {
+			nb, err := bdd.FromNetworkOpts(context.Background(), nw, bdd.BuildOptions{
+				Reorder: bdd.ReorderPolicy{Enable: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = nb.M.Size() - 2
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	})
+}
+
+// BenchmarkExactReorderRetry times the full reorder-retry rung on a
+// budget the fixed order cannot fit: trip at 20000 nodes, rebuild under
+// sifting, finish exactly. The degraded metric must stay 0 — the run
+// that previously fell to Monte Carlo now completes exactly.
+func BenchmarkExactReorderRetry(b *testing.B) {
+	nw, err := circuits.Comparator(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := power.DefaultParams()
+	opt := power.ExactOptions{Budget: bdd.Budget{MaxNodes: 20000}}
+	degraded := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := power.EstimateExactCtx(context.Background(), nw, p, nil, nil, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Degraded {
+			degraded++
+		}
+	}
+	b.ReportMetric(float64(degraded), "degraded")
 }

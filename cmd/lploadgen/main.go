@@ -129,8 +129,9 @@ func workload(n int) []genReq {
 		case 1:
 			body = map[string]any{"circuit": c, "estimator": "simulated", "vectors": 256, "seed": 3}
 		case 2:
-			// Tiny budget: trips and degrades to seeded Monte Carlo, so the
-			// degraded-rate statistic is exercised on every run.
+			// Tiny budget: trips even after the reorder retry and degrades
+			// to seeded Monte Carlo, so the degraded-rate statistic is
+			// exercised on every run.
 			body = map[string]any{"circuit": c, "estimator": "exact", "vectors": 512, "bdd_max_nodes": 16}
 		case 3:
 			body = map[string]any{"circuit": c, "estimator": "propagated"}

@@ -8,8 +8,12 @@
 // signal-probability evaluation given independent input probabilities.
 //
 // Nodes are referenced by integer handles (Ref). Refs 0 and 1 are the
-// constant functions. The manager never frees nodes; for the circuit sizes
-// in this toolkit (tens of thousands of nodes) this is simple and fast.
+// constant functions. Variables are decoupled from levels through a
+// var2level/level2var permutation so the order can change at runtime:
+// Reorder applies Rudell-style sifting over in-place adjacent-level swaps,
+// which preserves every externally held Ref. Outside of reordering, nodes
+// are never freed; Reorder reclaims nodes unreachable from its root set
+// into a free list that mk reuses.
 package bdd
 
 import (
@@ -31,16 +35,24 @@ const (
 )
 
 type node struct {
-	level  int32 // variable level; terminals use level maxLevel
+	level  int32 // position in the variable order; terminals use maxLevel
 	lo, hi Ref
 }
 
-const maxLevel = int32(1<<30 - 1)
+const (
+	maxLevel = int32(1<<30 - 1)
+	// freeLevel marks an arena slot reclaimed by Reorder and awaiting
+	// reuse through the free list. Freed slots are unreachable from any
+	// live function, so no traversal ever observes this sentinel.
+	freeLevel = int32(-1)
+)
 
-type uniqueKey struct {
-	level  int32
-	lo, hi Ref
-}
+// pair is the per-level unique-table key. Keeping one table per level —
+// rather than one global table keyed by (level, lo, hi) — lets an
+// adjacent-level swap move an entire level wholesale by exchanging table
+// pointers, so reordering cost scales with the nodes that actually test
+// the moving variable.
+type pair struct{ lo, hi Ref }
 
 type iteKey struct{ f, g, h Ref }
 
@@ -53,6 +65,9 @@ type metrics struct {
 	iteMisses      *obsv.Counter // bdd.ite.misses
 	nodes          *obsv.Gauge   // bdd.nodes: high-water node count
 	budgetExceeded *obsv.Counter // bdd.budget.exceeded
+	reorderRuns    *obsv.Counter // bdd.reorder.runs
+	reorderSwaps   *obsv.Counter // bdd.reorder.swaps
+	reorderSaved   *obsv.Counter // bdd.reorder.saved
 }
 
 func newMetrics() metrics {
@@ -64,11 +79,15 @@ func newMetrics() metrics {
 		iteMisses:      r.Counter("bdd.ite.misses"),
 		nodes:          r.Gauge("bdd.nodes"),
 		budgetExceeded: r.Counter("bdd.budget.exceeded"),
+		reorderRuns:    r.Counter("bdd.reorder.runs"),
+		reorderSwaps:   r.Counter("bdd.reorder.swaps"),
+		reorderSaved:   r.Counter("bdd.reorder.saved"),
 	}
 }
 
 // Manager owns a set of BDD nodes over a fixed number of variables.
-// Variable i has level i: lower-indexed variables appear nearer the root.
+// Variable i starts at level i (lower levels nearer the root); Reorder may
+// permute the order afterwards, tracked by var2level/level2var.
 //
 // A manager may carry a resource Budget and a context (SetBudget,
 // SetContext). When either trips, the manager records a sticky BudgetError
@@ -78,14 +97,23 @@ func newMetrics() metrics {
 // an unbudgeted one.
 type Manager struct {
 	nodes  []node
-	unique map[uniqueKey]Ref
+	unique []map[pair]Ref // per-level unique tables, allocated lazily
 	iteC   map[iteKey]Ref
 	nvars  int
 	met    metrics
 
+	// var2level[i] is the level variable i currently occupies;
+	// level2var is its inverse. Both start as the identity.
+	var2level []int32
+	level2var []int32
+	// free lists arena slots reclaimed by Reorder, reused LIFO by mk.
+	// live counts arena slots in use (including the two terminals).
+	free []Ref
+	live int
+
 	budget  Budget
 	ctx     context.Context // nil = no cancellation polling
-	steps   int64           // cumulative ITE recursion steps
+	steps   int64           // cumulative recursion steps (ITE + Restrict)
 	checked bool            // true when budget limits or a context are set
 	err     error           // sticky *BudgetError once a limit trips
 }
@@ -93,15 +121,22 @@ type Manager struct {
 // New creates a manager with nvars variables.
 func New(nvars int) *Manager {
 	m := &Manager{
-		unique: make(map[uniqueKey]Ref),
-		iteC:   make(map[iteKey]Ref),
-		nvars:  nvars,
-		met:    newMetrics(),
+		unique:    make([]map[pair]Ref, nvars),
+		iteC:      make(map[iteKey]Ref),
+		nvars:     nvars,
+		met:       newMetrics(),
+		var2level: make([]int32, nvars),
+		level2var: make([]int32, nvars),
+	}
+	for i := 0; i < nvars; i++ {
+		m.var2level[i] = int32(i)
+		m.level2var[i] = int32(i)
 	}
 	// Terminal nodes: index 0 = false, 1 = true.
 	m.nodes = append(m.nodes,
 		node{level: maxLevel},
 		node{level: maxLevel})
+	m.live = 2
 	return m
 }
 
@@ -109,13 +144,42 @@ func New(nvars int) *Manager {
 func (m *Manager) NumVars() int { return m.nvars }
 
 // Size returns the total number of live nodes (including terminals).
-func (m *Manager) Size() int { return len(m.nodes) }
+func (m *Manager) Size() int { return m.live }
 
 // AddVar appends a new variable (at the bottom of the order) and returns
 // its index.
 func (m *Manager) AddVar() int {
+	m.var2level = append(m.var2level, int32(len(m.level2var)))
+	m.level2var = append(m.level2var, int32(m.nvars))
+	m.unique = append(m.unique, nil)
 	m.nvars++
 	return m.nvars - 1
+}
+
+// uniq returns the unique table of a level, allocating it on first use.
+func (m *Manager) uniq(level int32) map[pair]Ref {
+	if m.unique[level] == nil {
+		m.unique[level] = make(map[pair]Ref)
+	}
+	return m.unique[level]
+}
+
+// Order returns the current variable order: element l is the index of the
+// variable at level l (level 0 is the root).
+func (m *Manager) Order() []int {
+	out := make([]int, m.nvars)
+	for l, v := range m.level2var {
+		out[l] = int(v)
+	}
+	return out
+}
+
+// LevelOf returns the level variable i currently occupies.
+func (m *Manager) LevelOf(i int) int {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: LevelOf(%d) out of range [0,%d)", i, m.nvars))
+	}
+	return int(m.var2level[i])
 }
 
 // Var returns the function of the single variable i.
@@ -123,7 +187,7 @@ func (m *Manager) Var(i int) Ref {
 	if i < 0 || i >= m.nvars {
 		panic(fmt.Sprintf("bdd: Var(%d) out of range [0,%d)", i, m.nvars))
 	}
-	return m.mk(int32(i), False, True)
+	return m.mk(m.var2level[i], False, True)
 }
 
 // NVar returns the complement of variable i.
@@ -131,7 +195,7 @@ func (m *Manager) NVar(i int) Ref {
 	if i < 0 || i >= m.nvars {
 		panic(fmt.Sprintf("bdd: NVar(%d) out of range [0,%d)", i, m.nvars))
 	}
-	return m.mk(int32(i), True, False)
+	return m.mk(m.var2level[i], True, False)
 }
 
 // mk finds or creates the node (level, lo, hi), applying the reduction
@@ -143,16 +207,25 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if m.checked && m.err != nil {
 		return False
 	}
-	k := uniqueKey{level, lo, hi}
-	if r, ok := m.unique[k]; ok {
+	tab := m.uniq(level)
+	k := pair{lo, hi}
+	if r, ok := tab[k]; ok {
 		m.met.uniqueHits.Inc()
 		return r
 	}
 	m.met.uniqueMisses.Inc()
-	r := Ref(len(m.nodes))
-	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
-	m.unique[k] = r
-	m.met.nodes.Max(float64(len(m.nodes)))
+	var r Ref
+	if n := len(m.free); n > 0 {
+		r = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.nodes[r] = node{level: level, lo: lo, hi: hi}
+	} else {
+		r = Ref(len(m.nodes))
+		m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	}
+	tab[k] = r
+	m.live++
+	m.met.nodes.Max(float64(m.live))
 	if m.checked {
 		m.checkNodes()
 	}
@@ -257,9 +330,17 @@ func (m *Manager) Xnor(fs ...Ref) Ref { return m.Not(m.Xor(fs...)) }
 func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, True) }
 
 // Restrict cofactors f with variable i fixed to val.
+//
+// Like ITE, the walk accounts recursion steps against the manager's
+// budget and polls the context, so quantification built on Restrict
+// (Exists, Forall, ExistsSet, ForallSet, Compose) is bounded too. On a
+// poisoned manager it returns False immediately.
 func (m *Manager) Restrict(f Ref, i int, val bool) Ref {
+	if m.checked && m.err != nil {
+		return False
+	}
 	memo := make(map[Ref]Ref)
-	lvl := int32(i)
+	lvl := m.var2level[i]
 	var rec func(Ref) Ref
 	rec = func(g Ref) Ref {
 		n := m.nodes[g]
@@ -268,6 +349,9 @@ func (m *Manager) Restrict(f Ref, i int, val bool) Ref {
 		}
 		if r, ok := memo[g]; ok {
 			return r
+		}
+		if m.checked && !m.checkStep() {
+			return False
 		}
 		var r Ref
 		if n.level == lvl {
@@ -282,7 +366,11 @@ func (m *Manager) Restrict(f Ref, i int, val bool) Ref {
 		memo[g] = r
 		return r
 	}
-	return rec(f)
+	r := rec(f)
+	if m.checked && m.err != nil {
+		return False
+	}
+	return r
 }
 
 // Exists existentially quantifies out variable i: f[i=0] | f[i=1].
@@ -317,11 +405,16 @@ func (m *Manager) Compose(f Ref, i int, g Ref) Ref {
 	return m.ITE(g, m.Restrict(f, i, true), m.Restrict(f, i, false))
 }
 
-// Eval evaluates f under a complete variable assignment.
+// Eval evaluates f under a complete variable assignment (indexed by
+// variable, independent of the current order). On a poisoned manager it
+// returns false.
 func (m *Manager) Eval(f Ref, assign []bool) bool {
+	if m.checked && m.err != nil {
+		return false
+	}
 	for f != True && f != False {
 		n := m.nodes[f]
-		if assign[n.level] {
+		if assign[m.level2var[n.level]] {
 			f = n.hi
 		} else {
 			f = n.lo
@@ -330,8 +423,12 @@ func (m *Manager) Eval(f Ref, assign []bool) bool {
 	return f == True
 }
 
-// Support returns the sorted indices of variables f depends on.
+// Support returns the sorted indices of variables f depends on. On a
+// poisoned manager it returns nil.
 func (m *Manager) Support(f Ref) []int {
+	if m.checked && m.err != nil {
+		return nil
+	}
 	seen := make(map[Ref]bool)
 	vars := make(map[int32]bool)
 	var rec func(Ref)
@@ -341,7 +438,7 @@ func (m *Manager) Support(f Ref) []int {
 		}
 		seen[g] = true
 		n := m.nodes[g]
-		vars[n.level] = true
+		vars[m.level2var[n.level]] = true
 		rec(n.lo)
 		rec(n.hi)
 	}
@@ -356,8 +453,12 @@ func (m *Manager) Support(f Ref) []int {
 }
 
 // NodeCount returns the number of distinct internal nodes in f (a standard
-// BDD size metric, excluding terminals).
+// BDD size metric, excluding terminals). On a poisoned manager it returns
+// zero.
 func (m *Manager) NodeCount(f Ref) int {
+	if m.checked && m.err != nil {
+		return 0
+	}
 	seen := make(map[Ref]bool)
 	var rec func(Ref)
 	rec = func(g Ref) {
@@ -373,16 +474,24 @@ func (m *Manager) NodeCount(f Ref) int {
 }
 
 // SatCount returns the number of satisfying assignments of f over all
-// nvars variables, as a float64 (exact for < 2^53).
+// nvars variables, as a float64 (exact for < 2^53). The count is scaled
+// in log space (math.Ldexp), so managers with >= 1024 variables still get
+// finite counts whenever the true count fits in a float64; it saturates
+// to +Inf only when the count itself exceeds the float64 range (and is 0,
+// not NaN, for the constant-false function at any width).
 func (m *Manager) SatCount(f Ref) float64 {
-	return m.Probability(f, nil) * math.Pow(2, float64(m.nvars))
+	return math.Ldexp(m.Probability(f, nil), m.nvars)
 }
 
 // Probability returns the probability that f evaluates to 1 when each
-// variable i is independently 1 with probability p[i]. A nil p means every
+// variable i is independently 1 with probability p[i] (indexed by
+// variable, independent of the current order). A nil p means every
 // variable has probability 1/2. This is the exact signal probability used
-// by internal/power.
+// by internal/power. On a poisoned manager it returns 0.
 func (m *Manager) Probability(f Ref, p []float64) float64 {
+	if m.checked && m.err != nil {
+		return 0
+	}
 	memo := make(map[Ref]float64)
 	var rec func(Ref) float64
 	rec = func(g Ref) float64 {
@@ -398,7 +507,7 @@ func (m *Manager) Probability(f Ref, p []float64) float64 {
 		n := m.nodes[g]
 		pv := 0.5
 		if p != nil {
-			pv = p[n.level]
+			pv = p[m.level2var[n.level]]
 		}
 		v := pv*rec(n.hi) + (1-pv)*rec(n.lo)
 		memo[g] = v
@@ -409,15 +518,19 @@ func (m *Manager) Probability(f Ref, p []float64) float64 {
 
 // AnySat returns one satisfying assignment of f (indexed by variable), or
 // nil if f is unsatisfiable. Variables not in the support are set false.
+// On a poisoned manager it returns nil.
 func (m *Manager) AnySat(f Ref) []bool {
 	if f == False {
+		return nil
+	}
+	if m.checked && m.err != nil {
 		return nil
 	}
 	assign := make([]bool, m.nvars)
 	for f != True {
 		n := m.nodes[f]
 		if n.hi != False {
-			assign[n.level] = true
+			assign[m.level2var[n.level]] = true
 			f = n.hi
 		} else {
 			f = n.lo
@@ -442,7 +555,7 @@ func (m *Manager) High(f Ref) Ref {
 // Level returns the variable index tested at the root of f.
 func (m *Manager) Level(f Ref) int {
 	m.checkInternal(f)
-	return int(m.nodes[f].level)
+	return int(m.level2var[m.nodes[f].level])
 }
 
 func (m *Manager) checkInternal(f Ref) {

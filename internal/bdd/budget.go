@@ -20,8 +20,9 @@ type Budget struct {
 	// MaxNodes caps the total number of nodes in the manager's unique
 	// table (including the two terminals). 0 means unlimited.
 	MaxNodes int
-	// MaxSteps caps the cumulative number of ITE recursion steps across
-	// all operations on the manager. 0 means unlimited.
+	// MaxSteps caps the cumulative number of recursion steps (ITE,
+	// Restrict, and reordering work) across all operations on the
+	// manager. 0 means unlimited.
 	MaxSteps int64
 }
 
@@ -82,11 +83,11 @@ func (m *Manager) SetContext(ctx context.Context) {
 // context must check Err after each batch of operations.
 func (m *Manager) Err() error { return m.err }
 
-// Steps returns the cumulative ITE recursion step count, the work measure
-// MaxSteps bounds.
+// Steps returns the cumulative recursion step count (ITE plus Restrict
+// plus reordering work), the work measure MaxSteps bounds.
 func (m *Manager) Steps() int64 { return m.steps }
 
-// checkStep accounts one ITE recursion step and trips the budget when a
+// checkStep accounts one recursion step and trips the budget when a
 // limit is exceeded. The context is polled every 4096 steps so the check
 // stays off the hot path. Returns false once the manager is poisoned.
 func (m *Manager) checkStep() bool {
@@ -112,7 +113,7 @@ func (m *Manager) checkNodes() bool {
 	if m.err != nil {
 		return false
 	}
-	if m.budget.MaxNodes > 0 && len(m.nodes) > m.budget.MaxNodes {
+	if m.budget.MaxNodes > 0 && m.live > m.budget.MaxNodes {
 		m.fail("nodes")
 		return false
 	}
@@ -123,6 +124,6 @@ func (m *Manager) fail(reason string) {
 	if m.err != nil {
 		return
 	}
-	m.err = &BudgetError{Reason: reason, Nodes: len(m.nodes), Steps: m.steps}
+	m.err = &BudgetError{Reason: reason, Nodes: m.live, Steps: m.steps}
 	m.met.budgetExceeded.Inc()
 }

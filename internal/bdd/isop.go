@@ -36,7 +36,7 @@ func (m *Manager) isop(l, u Ref, memo map[[2]Ref]*sop.Cover) *sop.Cover {
 	if lu := m.level(u); lu < top {
 		top = lu
 	}
-	v := int(top)
+	v := int(m.level2var[top])
 	l0, l1 := m.cofactors(l, top)
 	u0, u1 := m.cofactors(u, top)
 

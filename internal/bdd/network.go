@@ -3,6 +3,7 @@ package bdd
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/logic"
 	"repro/internal/obsv/trace"
@@ -19,6 +20,47 @@ type NetworkBDDs struct {
 	Fn map[logic.NodeID]Ref
 	// Vars lists the source nodes in variable order.
 	Vars []logic.NodeID
+
+	// roots lists every Fn value in build order, so reordering can pin
+	// them all deterministically.
+	roots []Ref
+}
+
+// ReorderPolicy controls dynamic variable reordering during a network
+// build. When enabled, the builder sifts the manager whenever the live
+// node count crosses a threshold, then doubles the trigger — the classic
+// dynamic-reordering schedule.
+type ReorderPolicy struct {
+	// Enable turns dynamic reordering on.
+	Enable bool
+	// Threshold is the live node count that triggers the first reorder.
+	// 0 means min(4096, Budget.MaxNodes/2), floored at 64.
+	Threshold int
+	// MaxGrowth and MaxVars are passed through to ReorderOptions.
+	MaxGrowth float64
+	MaxVars   int
+}
+
+// threshold resolves the first trigger point against a budget.
+func (p ReorderPolicy) threshold(b Budget) int {
+	th := p.Threshold
+	if th <= 0 {
+		th = 4096
+		if b.MaxNodes > 0 && b.MaxNodes/2 < th {
+			th = b.MaxNodes / 2
+		}
+	}
+	if th < 64 {
+		th = 64
+	}
+	return th
+}
+
+// BuildOptions bundles the knobs of a budgeted, optionally reordering
+// network build. The zero value is exactly FromNetwork.
+type BuildOptions struct {
+	Budget  Budget
+	Reorder ReorderPolicy
 }
 
 // FromNetwork builds global BDDs for every node of the network. Primary
@@ -35,12 +77,25 @@ func FromNetwork(nw *logic.Network) (*NetworkBDDs, error) {
 // matching ErrBudgetExceeded, or the context error) is returned. With a
 // zero budget and a background context it is exactly FromNetwork.
 func FromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkBDDs, error) {
+	return FromNetworkOpts(ctx, nw, BuildOptions{Budget: b})
+}
+
+// FromNetworkOpts is FromNetworkCtx with an explicit options bundle,
+// notably dynamic variable reordering: with Reorder.Enable the build
+// sifts the variable order whenever the live node count crosses the
+// policy threshold, which lets circuits whose declaration order is
+// pathological (e.g. wide comparators) fit budgets the fixed order
+// cannot.
+func FromNetworkOpts(ctx context.Context, nw *logic.Network, opt BuildOptions) (*NetworkBDDs, error) {
 	ctx, sp := trace.Start(ctx, "bdd.build")
-	nb, err := fromNetworkCtx(ctx, nw, b)
+	nb, err := fromNetworkOpts(ctx, nw, opt)
 	if sp != nil {
 		if nb != nil {
 			sp.SetAttr("nodes", nb.M.Size())
 			sp.SetAttr("steps", nb.M.Steps())
+		}
+		if opt.Reorder.Enable {
+			sp.SetAttr("reorder", true)
 		}
 		if err != nil {
 			sp.SetAttr("error", err.Error())
@@ -50,10 +105,10 @@ func FromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkB
 	return nb, err
 }
 
-func fromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkBDDs, error) {
+func fromNetworkOpts(ctx context.Context, nw *logic.Network, opt BuildOptions) (*NetworkBDDs, error) {
 	srcs := append(append([]logic.NodeID(nil), nw.PIs()...), nw.FFs()...)
 	m := New(len(srcs))
-	m.SetBudget(b)
+	m.SetBudget(opt.Budget)
 	m.SetContext(ctx)
 	nb := &NetworkBDDs{
 		M:     m,
@@ -63,7 +118,13 @@ func fromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkB
 	}
 	for i, s := range srcs {
 		nb.VarOf[s] = i
-		nb.Fn[s] = m.Var(i)
+		f := m.Var(i)
+		nb.Fn[s] = f
+		nb.roots = append(nb.roots, f)
+	}
+	next := 0
+	if opt.Reorder.Enable {
+		next = opt.Reorder.threshold(opt.Budget)
 	}
 	order, err := nw.TopoOrder()
 	if err != nil {
@@ -98,8 +159,41 @@ func fromNetworkCtx(ctx context.Context, nw *logic.Network, b Budget) (*NetworkB
 			return nil, err
 		}
 		nb.Fn[id] = f
+		nb.roots = append(nb.roots, f)
+		if opt.Reorder.Enable && m.live >= next {
+			if _, err := m.Reorder(nb.roots, ReorderOptions{
+				MaxGrowth: opt.Reorder.MaxGrowth,
+				MaxVars:   opt.Reorder.MaxVars,
+			}); err != nil {
+				return nil, err
+			}
+			next = 2 * m.live
+			if th := opt.Reorder.threshold(opt.Budget); next < th {
+				next = th
+			}
+		}
 	}
 	return nb, nil
+}
+
+// Reorder sifts the manager's variable order, pinning every node
+// function ever built so all Fn refs stay valid. It returns the sifting
+// statistics.
+func (nb *NetworkBDDs) Reorder(opt ReorderOptions) (ReorderStats, error) {
+	roots := nb.roots
+	if roots == nil {
+		// A NetworkBDDs assembled by hand: fall back to the Fn map in
+		// deterministic NodeID order.
+		ids := make([]logic.NodeID, 0, len(nb.Fn))
+		for id := range nb.Fn {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			roots = append(roots, nb.Fn[id])
+		}
+	}
+	return nb.M.Reorder(roots, opt)
 }
 
 func applyGate(m *Manager, t logic.GateType, args []Ref) (Ref, error) {

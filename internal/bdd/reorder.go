@@ -1,0 +1,411 @@
+package bdd
+
+import "sort"
+
+// ReorderOptions tunes Rudell-style sifting. The zero value sifts every
+// variable with a 1.2x growth cap.
+type ReorderOptions struct {
+	// MaxGrowth caps how far the live node count may grow past the best
+	// size seen while a variable is in flight before the sift direction
+	// is abandoned. Values <= 1 mean the default 1.2.
+	MaxGrowth float64
+	// MaxVars limits how many variables are sifted (most-populated
+	// levels first). 0 means all of them.
+	MaxVars int
+}
+
+// ReorderStats reports what a Reorder call did.
+type ReorderStats struct {
+	Vars   int // variables sifted
+	Swaps  int // adjacent-level swaps performed
+	Before int // live internal nodes reachable from the roots, pre-sift
+	After  int // live internal nodes after sifting
+}
+
+// Reorder runs sifting-based dynamic variable reordering: each variable
+// is moved through the order by in-place adjacent-level swaps and left at
+// the position minimizing the live node count, subject to the growth cap.
+//
+// roots must list every Ref the caller still holds; everything not
+// reachable from them is garbage-collected into the manager's free list
+// first (external Refs in roots remain valid across the call — swaps
+// rewrite nodes in place). The ITE cache is invalidated.
+//
+// Reorder is budget-aware: swap work is charged against MaxSteps, the
+// node high-water is checked against MaxNodes, and the context is polled
+// between swaps. On a trip the manager is poisoned as usual and the
+// sticky error returned; swaps themselves are atomic, so the graph stays
+// structurally consistent even then.
+func (m *Manager) Reorder(roots []Ref, opt ReorderOptions) (ReorderStats, error) {
+	if m.checked && m.err != nil {
+		return ReorderStats{}, m.err
+	}
+	growth := opt.MaxGrowth
+	if growth <= 1 {
+		growth = 1.2
+	}
+	s := &sifter{m: m, maxGrowth: growth}
+	s.init(roots)
+	st := ReorderStats{Before: s.size}
+
+	// Sift the most-populated levels first: moving a fat variable is
+	// where the big wins are, and doing it early keeps later sifts cheap.
+	type varLoad struct {
+		v   int
+		pop int
+	}
+	loads := make([]varLoad, m.nvars)
+	for l := 0; l < m.nvars; l++ {
+		loads[l] = varLoad{v: int(m.level2var[l]), pop: len(s.bucket(l))}
+	}
+	sort.SliceStable(loads, func(i, j int) bool { return loads[i].pop > loads[j].pop })
+	maxVars := opt.MaxVars
+	if maxVars <= 0 || maxVars > m.nvars {
+		maxVars = m.nvars
+	}
+
+	var err error
+	for i := 0; i < maxVars; i++ {
+		if loads[i].pop == 0 {
+			continue // nothing tests this variable; moving it is a no-op
+		}
+		if err = s.sift(loads[i].v); err != nil {
+			break
+		}
+		st.Vars++
+	}
+	st.Swaps = s.swaps
+	st.After = s.size
+	m.met.reorderRuns.Inc()
+	m.met.reorderSwaps.Add(int64(s.swaps))
+	if saved := st.Before - st.After; saved > 0 {
+		m.met.reorderSaved.Add(int64(saved))
+	}
+	m.met.nodes.Max(float64(m.live))
+	return st, err
+}
+
+// sifter holds the per-Reorder bookkeeping: reference counts (parent
+// edges plus root pins), per-level node lists, and the live internal node
+// count that sifting minimizes.
+type sifter struct {
+	m         *Manager
+	rc        []int32 // per-Ref: incoming edges from live nodes + root pins
+	buckets   [][]Ref // per-level live node lists; lazily filtered
+	stamp     []int32 // per-Ref dedup stamp for bucket filtering
+	stampGen  int32
+	size      int // live internal nodes
+	swaps     int
+	maxGrowth float64
+}
+
+// init builds reference counts from the arena, garbage-collects
+// everything unreachable from roots, populates the level buckets in Ref
+// order (deterministic), and invalidates the ITE cache, whose entries may
+// reference reclaimed nodes.
+func (s *sifter) init(roots []Ref) {
+	m := s.m
+	s.rc = make([]int32, len(m.nodes))
+	s.stamp = make([]int32, len(m.nodes))
+	for r := Ref(2); int(r) < len(m.nodes); r++ {
+		n := m.nodes[r]
+		if n.level == freeLevel {
+			continue
+		}
+		if n.lo > 1 {
+			s.rc[n.lo]++
+		}
+		if n.hi > 1 {
+			s.rc[n.hi]++
+		}
+	}
+	for _, r := range roots {
+		if r > 1 {
+			s.rc[r]++
+		}
+	}
+	s.size = m.live - 2
+	for r := Ref(2); int(r) < len(m.nodes); r++ {
+		if m.nodes[r].level != freeLevel && s.rc[r] == 0 {
+			s.freeNode(r)
+		}
+	}
+	s.buckets = make([][]Ref, m.nvars)
+	for r := Ref(2); int(r) < len(m.nodes); r++ {
+		if lv := m.nodes[r].level; lv != freeLevel {
+			s.buckets[lv] = append(s.buckets[lv], r)
+		}
+	}
+	m.iteC = make(map[iteKey]Ref)
+}
+
+// bucket returns the live nodes currently at level l, compacting stale
+// entries (freed or re-leveled slots) out of the stored slice. The stamp
+// pass drops duplicates a recycled slot could otherwise introduce.
+func (s *sifter) bucket(l int) []Ref {
+	s.stampGen++
+	raw := s.buckets[l]
+	out := raw[:0]
+	for _, r := range raw {
+		if s.m.nodes[r].level == int32(l) && s.stamp[r] != s.stampGen {
+			s.stamp[r] = s.stampGen
+			out = append(out, r)
+		}
+	}
+	s.buckets[l] = out
+	return out
+}
+
+// mkAt finds or creates (level, lo, hi) during a swap. Unlike Manager.mk
+// it maintains the sifter's reference counts and buckets and performs no
+// budget checks: budget state is only examined between swaps, so a swap
+// can never be torn by a mid-flight trip.
+func (s *sifter) mkAt(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	m := s.m
+	tab := m.uniq(level)
+	k := pair{lo, hi}
+	if r, ok := tab[k]; ok {
+		return r
+	}
+	var r Ref
+	if n := len(m.free); n > 0 {
+		r = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.nodes[r] = node{level: level, lo: lo, hi: hi}
+	} else {
+		r = Ref(len(m.nodes))
+		m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+		s.rc = append(s.rc, 0)
+		s.stamp = append(s.stamp, 0)
+	}
+	tab[k] = r
+	m.live++
+	s.size++
+	if lo > 1 {
+		s.rc[lo]++
+	}
+	if hi > 1 {
+		s.rc[hi]++
+	}
+	s.buckets[level] = append(s.buckets[level], r)
+	return r
+}
+
+// deref drops one reference to g, reclaiming it when none remain.
+func (s *sifter) deref(g Ref) {
+	if g <= 1 {
+		return
+	}
+	s.rc[g]--
+	if s.rc[g] == 0 {
+		s.freeNode(g)
+	}
+}
+
+// freeNode reclaims an unreferenced node: its unique entry is removed,
+// the slot is pushed on the free list with the freeLevel sentinel, and
+// its children are dereferenced in cascade.
+func (s *sifter) freeNode(g Ref) {
+	m := s.m
+	n := m.nodes[g]
+	delete(m.unique[n.level], pair{n.lo, n.hi})
+	m.nodes[g].level = freeLevel
+	m.free = append(m.free, g)
+	m.live--
+	s.size--
+	s.deref(n.lo)
+	s.deref(n.hi)
+}
+
+// swap exchanges levels l and l+1 in place. Nodes keep their Refs: a
+// level-l node independent of the lower variable just moves down a
+// level; a dependent one is rewritten as (y ? (x?f11:f01) : (x?f10:f00))
+// with freshly interned level-(l+1) cofactor nodes. The phase order —
+// capture cofactor quads, unhook both levels from the unique table,
+// re-intern the risers, re-intern the independent sinkers, rewrite the
+// dependent nodes, then release their old children — makes unique-table
+// collisions impossible mid-swap.
+func (s *sifter) swap(l int) {
+	m := s.m
+	ll, lh := int32(l), int32(l+1)
+	xs := s.bucket(l)
+	ys := s.bucket(l + 1)
+
+	type depNode struct {
+		r                  Ref
+		f00, f01, f10, f11 Ref
+		oldLo, oldHi       Ref
+	}
+	var deps []depNode
+	var indep []Ref
+	for _, x := range xs {
+		n := m.nodes[x]
+		loDep := m.nodes[n.lo].level == lh
+		hiDep := m.nodes[n.hi].level == lh
+		if !loDep && !hiDep {
+			indep = append(indep, x)
+			continue
+		}
+		d := depNode{r: x, oldLo: n.lo, oldHi: n.hi}
+		if loDep {
+			d.f00, d.f01 = m.nodes[n.lo].lo, m.nodes[n.lo].hi
+		} else {
+			d.f00, d.f01 = n.lo, n.lo
+		}
+		if hiDep {
+			d.f10, d.f11 = m.nodes[n.hi].lo, m.nodes[n.hi].hi
+		} else {
+			d.f10, d.f11 = n.hi, n.hi
+		}
+		deps = append(deps, d)
+	}
+
+	// Unhook every level-l node from its table, then move the whole
+	// level-(l+1) table up by a pointer exchange: the rising ys never pay
+	// a per-node rehash, so a swap costs O(|level l| + re-leveling).
+	tabX := m.uniq(ll)
+	for _, x := range xs {
+		n := m.nodes[x]
+		delete(tabX, pair{n.lo, n.hi})
+	}
+	m.unique[ll], m.unique[lh] = m.unique[lh], m.unique[ll]
+	for _, y := range ys {
+		m.nodes[y].level = ll
+	}
+	tabH := m.uniq(lh)
+	for _, x := range indep {
+		m.nodes[x].level = lh
+		n := m.nodes[x]
+		tabH[pair{n.lo, n.hi}] = x
+	}
+
+	// Rebuild the two buckets: level l holds the risen ys plus the
+	// rewritten dependents (the ys slice moves wholesale); level l+1
+	// holds the independent sinkers plus whatever mkAt interns below.
+	s.buckets[l] = ys
+	newHi := make([]Ref, 0, len(indep))
+	newHi = append(newHi, indep...)
+	s.buckets[l+1] = newHi
+
+	tabL := m.uniq(ll)
+	for _, d := range deps {
+		a0 := s.mkAt(lh, d.f00, d.f10)
+		a1 := s.mkAt(lh, d.f01, d.f11)
+		if a0 > 1 {
+			s.rc[a0]++
+		}
+		if a1 > 1 {
+			s.rc[a1]++
+		}
+		m.nodes[d.r] = node{level: ll, lo: a0, hi: a1}
+		tabL[pair{a0, a1}] = d.r
+		s.buckets[l] = append(s.buckets[l], d.r)
+	}
+	// Old children are released only after every dependent node has been
+	// rewritten: the captured quads must stay alive until the last one.
+	for _, d := range deps {
+		s.deref(d.oldLo)
+		s.deref(d.oldHi)
+	}
+
+	xv, yv := m.level2var[l], m.level2var[l+1]
+	m.level2var[l], m.level2var[l+1] = yv, xv
+	m.var2level[xv], m.var2level[yv] = lh, ll
+	s.swaps++
+	m.steps += int64(len(xs)+len(ys)) + 1
+}
+
+// check enforces the manager's budget and context between swaps.
+func (s *sifter) check() error {
+	m := s.m
+	if m.err != nil {
+		return m.err
+	}
+	if m.budget.MaxSteps > 0 && m.steps > m.budget.MaxSteps {
+		m.fail("steps")
+		return m.err
+	}
+	if m.budget.MaxNodes > 0 && m.live > m.budget.MaxNodes {
+		m.fail("nodes")
+		return m.err
+	}
+	if m.ctx != nil {
+		if err := m.ctx.Err(); err != nil {
+			m.fail(err.Error())
+			return m.err
+		}
+	}
+	return nil
+}
+
+// sift moves variable v through the whole order (nearer end first),
+// remembers the position minimizing the live node count, and moves it
+// back there. Each direction is abandoned once the size exceeds
+// maxGrowth times the best size seen.
+func (s *sifter) sift(v int) error {
+	m := s.m
+	n := m.nvars
+	best := s.size
+	bestL := int(m.var2level[v])
+	limit := func() int { return int(float64(best)*s.maxGrowth) + 2 }
+	note := func() {
+		if s.size < best {
+			best, bestL = s.size, int(m.var2level[v])
+		}
+	}
+	down := func() error {
+		for int(m.var2level[v]) < n-1 {
+			if err := s.check(); err != nil {
+				return err
+			}
+			s.swap(int(m.var2level[v]))
+			note()
+			if s.size > limit() {
+				return nil
+			}
+		}
+		return nil
+	}
+	up := func() error {
+		for int(m.var2level[v]) > 0 {
+			if err := s.check(); err != nil {
+				return err
+			}
+			s.swap(int(m.var2level[v]) - 1)
+			note()
+			if s.size > limit() {
+				return nil
+			}
+		}
+		return nil
+	}
+	var err error
+	if n-1-int(m.var2level[v]) <= int(m.var2level[v]) {
+		if err = down(); err == nil {
+			err = up()
+		}
+	} else {
+		if err = up(); err == nil {
+			err = down()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for int(m.var2level[v]) < bestL {
+		if err := s.check(); err != nil {
+			return err
+		}
+		s.swap(int(m.var2level[v]))
+	}
+	for int(m.var2level[v]) > bestL {
+		if err := s.check(); err != nil {
+			return err
+		}
+		s.swap(int(m.var2level[v]) - 1)
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+// Package bddsynth implements BDD-derived low-power synthesis in the
+// direction of Popel: build the global BDDs of a combinational network
+// under dynamic sifting reordering, then map the (small, well-ordered)
+// BDD directly to a 2:1-MUX netlist — each internal node becomes one MUX
+// selected by its variable — and keep the rewrite only if the estimated
+// switching activity improves. The variable order found by sifting is
+// what makes the mapping competitive: it simultaneously minimizes node
+// count and, through it, the amount of multiplexer hardware that can
+// toggle.
+package bddsynth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+	"repro/internal/power"
+)
+
+// Options configures Synthesize. The zero value uses a 1M-node BDD
+// budget, sifting reordering, 1995 default power parameters, uniform
+// input probabilities, and applies the rewrite only when the estimated
+// power improves.
+type Options struct {
+	// Budget bounds the BDD build; a trip makes Synthesize a skipped
+	// no-op, never an error. Zero means 1<<20 nodes.
+	Budget bdd.Budget
+	// NoReorder disables the sifting pass (for comparison runs).
+	NoReorder bool
+	// KeepWorse applies the MUX netlist even when its estimated power is
+	// not an improvement (used by experiments to measure the raw cost).
+	KeepWorse bool
+	// InputProb, Params and CapModel feed the propagated-probability
+	// scoring estimate. Zero values mean uniform 0.5 inputs and
+	// power.DefaultParams.
+	InputProb power.Probabilities
+	Params    power.Params
+	CapModel  power.CapModel
+}
+
+// Result reports what Synthesize did.
+type Result struct {
+	Skipped  bool    // nothing was attempted (sequential, budget trip, ...)
+	Reason   string  // why, when Skipped
+	Applied  bool    // the MUX netlist was spliced into the network
+	BDDNodes int     // live internal BDD nodes after the (re)build
+	MuxGates int     // gates emitted for the MUX netlist
+	Before   float64 // estimated switching power before
+	After    float64 // estimated switching power of the MUX candidate
+	Order    []int   // variable order the build settled on
+}
+
+// Synthesize rewrites the combinational network as a BDD-derived MUX
+// netlist when that lowers the propagated-probability power estimate.
+// Sequential networks and budget-tripping builds are skipped, not
+// failed, so the transform is safe inside any flow. The candidate is
+// evaluated on a clone first; the live network is only mutated when the
+// rewrite is accepted.
+func Synthesize(ctx context.Context, nw *logic.Network, opt Options) (*Result, error) {
+	if opt.Budget == (bdd.Budget{}) {
+		opt.Budget = bdd.Budget{MaxNodes: 1 << 20}
+	}
+	if opt.Params == (power.Params{}) {
+		opt.Params = power.DefaultParams()
+	}
+	if len(nw.FFs()) > 0 {
+		return &Result{Skipped: true, Reason: "sequential network"}, nil
+	}
+	if len(nw.POs()) == 0 || nw.NumGates() == 0 {
+		return &Result{Skipped: true, Reason: "nothing to synthesize"}, nil
+	}
+	before, err := power.EstimatePropagated(nw, opt.Params, opt.CapModel, opt.InputProb)
+	if err != nil {
+		return nil, fmt.Errorf("bddsynth: scoring input network: %w", err)
+	}
+
+	clone := nw.Clone()
+	stats, err := emitMux(ctx, clone, opt)
+	if err != nil {
+		if errors.Is(err, bdd.ErrBudgetExceeded) {
+			return &Result{Skipped: true, Reason: "BDD budget exceeded: " + err.Error(), Before: before.Total()}, nil
+		}
+		return nil, err
+	}
+	after, err := power.EstimatePropagated(clone, opt.Params, opt.CapModel, opt.InputProb)
+	if err != nil {
+		return nil, fmt.Errorf("bddsynth: scoring candidate: %w", err)
+	}
+	res := &Result{
+		BDDNodes: stats.bddNodes,
+		MuxGates: stats.muxGates,
+		Before:   before.Total(),
+		After:    after.Total(),
+		Order:    stats.order,
+	}
+	if !opt.KeepWorse && res.After >= res.Before {
+		return res, nil
+	}
+	// Accepted: replay the identical deterministic transform on the live
+	// network through the mutation APIs, keeping dirty tracking honest.
+	if _, err := emitMux(ctx, nw, opt); err != nil {
+		return nil, fmt.Errorf("bddsynth: replaying accepted rewrite: %w", err)
+	}
+	res.Applied = true
+	return res, nil
+}
+
+type emitStats struct {
+	bddNodes int
+	muxGates int
+	order    []int
+}
+
+// emitMux builds the network's BDDs and splices the MUX mapping in
+// place: fresh gates are emitted bottom-up, each primary-output driver
+// is redirected to its MUX root, and the displaced logic is swept.
+func emitMux(ctx context.Context, nw *logic.Network, opt Options) (*emitStats, error) {
+	nb, err := bdd.FromNetworkOpts(ctx, nw, bdd.BuildOptions{
+		Budget:  opt.Budget,
+		Reorder: bdd.ReorderPolicy{Enable: !opt.NoReorder},
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := nb.M
+	e := &emitter{
+		nw: nw, nb: nb,
+		memo:   make(map[bdd.Ref]logic.NodeID),
+		notSel: make(map[int]logic.NodeID),
+		c0:     logic.InvalidNode,
+		c1:     logic.InvalidNode,
+	}
+
+	// Map each distinct PO driver once, then redirect.
+	newDriver := make(map[logic.NodeID]logic.NodeID)
+	for _, po := range nw.POs() {
+		old := po
+		if _, done := newDriver[old]; done {
+			continue
+		}
+		f, ok := nb.Fn[old]
+		if !ok {
+			return nil, fmt.Errorf("bddsynth: no BDD for PO driver %d", old)
+		}
+		nd, err := e.emit(f)
+		if err != nil {
+			return nil, err
+		}
+		newDriver[old] = nd
+	}
+	// Deterministic redirect order: follow the PO list.
+	redirected := make(map[logic.NodeID]bool)
+	for _, po := range nw.POs() {
+		old := po
+		nd := newDriver[old]
+		if redirected[old] || nd == old {
+			continue
+		}
+		redirected[old] = true
+		if err := nw.ReplaceNode(old, nd); err != nil {
+			return nil, fmt.Errorf("bddsynth: redirecting PO driver %d: %w", old, err)
+		}
+	}
+	nw.SweepDead()
+	return &emitStats{
+		bddNodes: m.Size() - 2,
+		muxGates: e.emitted,
+		order:    m.Order(),
+	}, nil
+}
+
+// emitter maps BDD nodes to MUX gates, sharing subgraphs through the
+// memo (the BDD's sharing carries straight over to the netlist) and one
+// inverted select line per variable.
+type emitter struct {
+	nw      *logic.Network
+	nb      *bdd.NetworkBDDs
+	memo    map[bdd.Ref]logic.NodeID
+	notSel  map[int]logic.NodeID
+	c0, c1  logic.NodeID // lazily created constant nodes
+	emitted int          // gates added by this emitter
+}
+
+func (e *emitter) constant(val bool) (logic.NodeID, error) {
+	if val {
+		if e.c1 == logic.InvalidNode {
+			id, err := e.nw.AddConst("", true)
+			if err != nil {
+				return logic.InvalidNode, err
+			}
+			e.c1 = id
+		}
+		return e.c1, nil
+	}
+	if e.c0 == logic.InvalidNode {
+		id, err := e.nw.AddConst("", false)
+		if err != nil {
+			return logic.InvalidNode, err
+		}
+		e.c0 = id
+	}
+	return e.c0, nil
+}
+
+// gate adds one auto-named gate and counts it.
+func (e *emitter) gate(t logic.GateType, fanin ...logic.NodeID) (logic.NodeID, error) {
+	id, err := e.nw.AddGate("", t, fanin...)
+	if err == nil {
+		e.emitted++
+	}
+	return id, err
+}
+
+func (e *emitter) not(sel logic.NodeID, v int) (logic.NodeID, error) {
+	if id, ok := e.notSel[v]; ok {
+		return id, nil
+	}
+	id, err := e.gate(logic.Not, sel)
+	if err != nil {
+		return logic.InvalidNode, err
+	}
+	e.notSel[v] = id
+	return id, nil
+}
+
+// emit lowers one BDD function to gates and returns the driving node.
+func (e *emitter) emit(f bdd.Ref) (logic.NodeID, error) {
+	switch f {
+	case bdd.False:
+		return e.constant(false)
+	case bdd.True:
+		return e.constant(true)
+	}
+	if id, ok := e.memo[f]; ok {
+		return id, nil
+	}
+	m := e.nb.M
+	v := m.Level(f)
+	sel := e.nb.Vars[v]
+	lo, hi := m.Low(f), m.High(f)
+
+	var id logic.NodeID
+	var err error
+	switch {
+	case lo == bdd.False && hi == bdd.True:
+		id = sel // the function IS the select variable
+	case lo == bdd.True && hi == bdd.False:
+		id, err = e.not(sel, v)
+	case hi == bdd.True:
+		// sel ? 1 : lo  ==  sel | lo
+		var ln logic.NodeID
+		if ln, err = e.emit(lo); err == nil {
+			id, err = e.gate(logic.Or, sel, ln)
+		}
+	case hi == bdd.False:
+		// sel ? 0 : lo  ==  !sel & lo
+		var ln, ns logic.NodeID
+		if ln, err = e.emit(lo); err == nil {
+			if ns, err = e.not(sel, v); err == nil {
+				id, err = e.gate(logic.And, ns, ln)
+			}
+		}
+	case lo == bdd.False:
+		// sel ? hi : 0  ==  sel & hi
+		var hn logic.NodeID
+		if hn, err = e.emit(hi); err == nil {
+			id, err = e.gate(logic.And, sel, hn)
+		}
+	case lo == bdd.True:
+		// sel ? hi : 1  ==  !sel | hi
+		var hn, ns logic.NodeID
+		if hn, err = e.emit(hi); err == nil {
+			if ns, err = e.not(sel, v); err == nil {
+				id, err = e.gate(logic.Or, ns, hn)
+			}
+		}
+	default:
+		// Full 2:1 MUX: (!sel & lo) | (sel & hi).
+		var ln, hn, ns, a, b logic.NodeID
+		if ln, err = e.emit(lo); err != nil {
+			break
+		}
+		if hn, err = e.emit(hi); err != nil {
+			break
+		}
+		if ns, err = e.not(sel, v); err != nil {
+			break
+		}
+		if a, err = e.gate(logic.And, ns, ln); err != nil {
+			break
+		}
+		if b, err = e.gate(logic.And, sel, hn); err != nil {
+			break
+		}
+		id, err = e.gate(logic.Or, a, b)
+	}
+	if err != nil {
+		return 0, err
+	}
+	e.memo[f] = id
+	return id, nil
+}

@@ -373,6 +373,7 @@ var generators = map[string]Generator{
 	"mult5":  func() (*logic.Network, error) { return ArrayMultiplier(5) },
 	"mult6":  func() (*logic.Network, error) { return ArrayMultiplier(6) },
 	"cmp8":   func() (*logic.Network, error) { return Comparator(8) },
+	"cmp16":  func() (*logic.Network, error) { return Comparator(16) },
 	"alu4":   func() (*logic.Network, error) { return ALU(4) },
 	"par16":  func() (*logic.Network, error) { return ParityTree(16) },
 	"dec5":   func() (*logic.Network, error) { return Decoder(5) },

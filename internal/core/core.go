@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/bdd"
+	"repro/internal/bddsynth"
 	"repro/internal/dontcare"
 	"repro/internal/logic"
 	"repro/internal/obsv"
@@ -244,6 +245,19 @@ func Registry() map[string]Pass {
 			},
 		},
 		{
+			Name: "bddsynth", Level: "logic",
+			Description: "BDD-derived MUX synthesis under sifting reorder (Popel)",
+			Run: func(nw *logic.Network, ctx *Context) error {
+				_, err := bddsynth.Synthesize(context.Background(), nw, bddsynth.Options{
+					Budget:    ctx.ExactBudget,
+					InputProb: ctx.InputProb,
+					Params:    ctx.Params,
+					CapModel:  ctx.CapModel,
+				})
+				return err
+			},
+		},
+		{
 			Name: "balance", Level: "logic",
 			Description: "full path balancing: eliminate spurious transitions [16,25]",
 			Run: func(nw *logic.Network, ctx *Context) error {
@@ -291,6 +305,7 @@ func StandardFlows() map[string]Flow {
 		"area":     {Name: "area", Passes: []string{"strash", "dontcare-area", "sweep"}},
 		"lowpower": {Name: "lowpower", Passes: []string{"strash", "dontcare-power", "sweep", "balance"}},
 		"glitch":   {Name: "glitch", Passes: []string{"strash", "balance"}},
+		"bddmux":   {Name: "bddmux", Passes: []string{"strash", "bddsynth", "sweep"}},
 	}
 }
 

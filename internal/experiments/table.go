@@ -1,6 +1,6 @@
 // Package experiments regenerates every quantitative claim of the survey
 // (the "tables and figures" of this reproduction): one function per
-// experiment E1..E17, each returning a formatted table. cmd/experiments
+// experiment E1..E18, each returning a formatted table. cmd/experiments
 // prints them all; bench_test.go wraps each in a benchmark.
 //
 // The experiment index lives in DESIGN.md; measured-vs-paper numbers are
@@ -119,6 +119,7 @@ func All() []Experiment {
 		{"E15", E15Behavioral},
 		{"E16", E16Software},
 		{"E17", E17Incremental},
+		{"E18", E18BDDSynth},
 	}
 }
 

@@ -193,7 +193,15 @@ func (nw *Network) FFs() []NodeID { return nw.ffs }
 
 func (nw *Network) addNode(name string, t GateType, fanin []NodeID) (NodeID, error) {
 	if name == "" {
-		name = fmt.Sprintf("n%d", len(nw.nodes))
+		// Probe upward from the node count: imported netlists may already
+		// use n<k> names, and an auto name must never collide with them.
+		for i := len(nw.nodes); ; i++ {
+			cand := fmt.Sprintf("n%d", i)
+			if _, dup := nw.byName[cand]; !dup {
+				name = cand
+				break
+			}
+		}
 	}
 	if _, dup := nw.byName[name]; dup {
 		return InvalidNode, fmt.Errorf("logic: duplicate node name %q", name)

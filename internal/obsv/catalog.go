@@ -36,9 +36,13 @@ var catalog = map[string]MetricInfo{
 	"bdd.ite.misses":      {Type: "counter", Help: "ITE computed-cache misses."},
 	"bdd.nodes":           {Type: "gauge", Help: "High-water BDD node count per manager."},
 	"bdd.budget.exceeded": {Type: "counter", Help: "BDD work budgets tripped (node or step cap hit)."},
+	"bdd.reorder.runs":    {Type: "counter", Help: "Sifting reorder passes run over a BDD manager."},
+	"bdd.reorder.swaps":   {Type: "counter", Help: "Adjacent-level swaps performed while sifting."},
+	"bdd.reorder.saved":   {Type: "counter", Help: "Live BDD nodes eliminated by sifting reorder passes."},
 
 	"power.exact.nodes":    {Type: "counter", Help: "Nodes evaluated by the exact (BDD) estimator."},
 	"power.exact.degraded": {Type: "counter", Help: "Exact estimates degraded to seeded Monte Carlo on budget trip."},
+	"power.exact.reordered": {Type: "counter", Help: "Exact estimates rescued by the reorder-retry rung before Monte Carlo."},
 	"power.prop.nodes":     {Type: "counter", Help: "Nodes propagated by the independence-assumption estimator."},
 	"power.density.diffs":  {Type: "counter", Help: "Boolean differences computed by the density estimator."},
 

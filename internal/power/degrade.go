@@ -47,10 +47,26 @@ func (o ExactOptions) seed() int64 {
 // *bdd.BudgetError (matching bdd.ErrBudgetExceeded); with a zero budget
 // and a background context it computes exactly what ExactProbabilities
 // does.
+//
+// When the fixed declaration order blows the budget, it retries once
+// with dynamic sifting reordering (the exact -> reorder -> retry rung of
+// the degradation ladder) before the caller falls back to Monte Carlo;
+// successful retries increment the power.exact.reordered counter. A
+// cancelled context is never retried — the caller asked to stop.
 func ExactProbabilitiesCtx(ctx context.Context, nw *logic.Network, inputProb Probabilities, b bdd.Budget) (Probabilities, error) {
 	nb, err := bdd.FromNetworkCtx(ctx, nw, b)
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, bdd.ErrBudgetExceeded) || ctx.Err() != nil {
+			return nil, err
+		}
+		nb, err = bdd.FromNetworkOpts(ctx, nw, bdd.BuildOptions{
+			Budget:  b,
+			Reorder: bdd.ReorderPolicy{Enable: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		obsv.Default().Counter("power.exact.reordered").Inc()
 	}
 	pv := make([]float64, nb.M.NumVars())
 	for i, src := range nb.Vars {
@@ -71,7 +87,9 @@ func ExactProbabilitiesCtx(ctx context.Context, nw *logic.Network, inputProb Pro
 // EstimateExactCtx produces an Eqn. 1 report from exact (BDD) zero-delay
 // activity, under a context deadline and a BDD resource budget. When the
 // exact computation exceeds the budget — the exponential-size blowup risk
-// inherent to BDDs — it does not fail: it gracefully degrades to the
+// inherent to BDDs — it first retries with dynamic variable reordering
+// (via ExactProbabilitiesCtx); only if the sifted order still cannot fit
+// the budget does it fail over. Even then it does not fail: it degrades to the
 // bit-parallel packed Monte Carlo estimator over opt.MCVectors vectors
 // drawn with each input's declared 1-probability, marks the report with
 // Degraded=true and the budget error as DegradeReason, and increments the

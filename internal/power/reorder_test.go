@@ -1,0 +1,117 @@
+package power
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/circuits"
+	"repro/internal/obsv"
+)
+
+// TestEstimateExactCtxReorderRetry pins the new rung of the degradation
+// ladder: a wide comparator whose fixed declaration order blows a node
+// budget (and previously fell straight to Monte Carlo) must now complete
+// exactly after the reorder-retry, with Degraded=false.
+func TestEstimateExactCtxReorderRetry(t *testing.T) {
+	nw, err := circuits.Comparator(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bdd.Budget{MaxNodes: 20000}
+	// The premise: the fixed order cannot fit this budget.
+	if _, err := bdd.FromNetworkCtx(context.Background(), nw, b); err == nil || !errors.Is(err, bdd.ErrBudgetExceeded) {
+		t.Fatalf("fixed-order cmp16 unexpectedly fit a %d-node budget (err=%v)", b.MaxNodes, err)
+	}
+
+	reg := obsv.Enable()
+	defer obsv.Disable()
+	p := DefaultParams()
+	rep, err := EstimateExactCtx(context.Background(), nw, p, nil, nil, ExactOptions{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatalf("estimate still degraded after reorder-retry: %s", rep.DegradeReason)
+	}
+	if got := reg.Counter("power.exact.reordered").Value(); got != 1 {
+		t.Fatalf("power.exact.reordered = %d, want 1", got)
+	}
+	if got := reg.Counter("power.exact.degraded").Value(); got != 0 {
+		t.Fatalf("power.exact.degraded = %d, want 0", got)
+	}
+	if got := reg.Counter("bdd.reorder.runs").Value(); got == 0 {
+		t.Fatal("bdd.reorder.runs not incremented by the retry build")
+	}
+
+	// The retried result is exact: it matches the unbudgeted estimator
+	// up to floating-point reassociation from the permuted order.
+	exact, err := EstimateExact(nw, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(rep.Total() - exact.Total()); diff > 1e-9*exact.Total() {
+		t.Fatalf("reorder-retry total %v differs from exact %v", rep.Total(), exact.Total())
+	}
+
+	// And deterministic, byte for byte: a second run must agree exactly
+	// (the server caches these responses).
+	rep2, err := EstimateExactCtx(context.Background(), nw, p, nil, nil, ExactOptions{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Degraded || rep2.Total() != rep.Total() {
+		t.Fatalf("reorder-retry not deterministic: %v vs %v", rep2.Total(), rep.Total())
+	}
+}
+
+// TestExactProbabilitiesCtxReorderRetryValues checks the retried path
+// returns per-node probabilities matching the unbudgeted computation.
+func TestExactProbabilitiesCtxReorderRetryValues(t *testing.T) {
+	nw, err := circuits.Comparator(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ExactProbabilities(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := bdd.Budget{MaxNodes: 2000}
+	if _, err := bdd.FromNetworkCtx(context.Background(), nw, budget); !errors.Is(err, bdd.ErrBudgetExceeded) {
+		t.Fatalf("cmp12 unexpectedly fit %d nodes (err=%v)", budget.MaxNodes, err)
+	}
+	retried, err := ExactProbabilitiesCtx(context.Background(), nw, nil, budget)
+	if err != nil {
+		t.Fatalf("reorder-retry failed: %v", err)
+	}
+	if len(retried) != len(plain) {
+		t.Fatalf("node coverage differs: %d vs %d", len(retried), len(plain))
+	}
+	for id, want := range plain {
+		if got := retried[id]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("node %d: probability %v vs %v", id, got, want)
+		}
+	}
+}
+
+// TestExactProbabilitiesCtxNoRetryOnCancel checks a cancelled context is
+// not retried: cancellation aborts the ladder outright.
+func TestExactProbabilitiesCtxNoRetryOnCancel(t *testing.T) {
+	nw, err := circuits.Comparator(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = ExactProbabilitiesCtx(ctx, nw, nil, bdd.Budget{MaxNodes: 20000})
+	if err == nil {
+		t.Fatal("cancelled context did not error")
+	}
+	reg := obsv.Enable()
+	defer obsv.Disable()
+	if got := reg.Counter("power.exact.reordered").Value(); got != 0 {
+		t.Fatalf("cancelled context still took the reorder rung: %d", got)
+	}
+}

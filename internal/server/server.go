@@ -787,7 +787,8 @@ func (s *Server) computeEstimate(ctx context.Context, ent *netEntry, estimator s
 // FlowRequest selects a circuit and an optimization flow.
 type FlowRequest struct {
 	circuitRef
-	// Flow is a core.StandardFlows name: area, lowpower or glitch.
+	// Flow is a core.StandardFlows name: area, lowpower, glitch or
+	// bddmux.
 	Flow string `json:"flow"`
 	// Seed drives the flow context's vector generation (default 1).
 	Seed int64 `json:"seed,omitempty"`

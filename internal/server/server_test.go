@@ -372,7 +372,7 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	if err := json.Unmarshal(body, &listing); err != nil {
 		t.Fatal(err)
 	}
-	if len(listing.Circuits) == 0 || len(listing.Flows) != 3 || len(listing.Estimators) != 4 {
+	if len(listing.Circuits) == 0 || len(listing.Flows) != 4 || len(listing.Estimators) != 4 {
 		t.Errorf("implausible listing %s", body)
 	}
 
